@@ -1,0 +1,31 @@
+"""E11 — Example 2.2 / Appendix C.4: path queries (see DESIGN.md §4).
+
+Regenerates: bounds for paths of length 2–5 over a SNAP-like relation.
+Asserts the acyclic-case story that motivates the paper: the full ℓp
+bound beats {1,∞} which beats {1}, each typically by orders of magnitude,
+and the gap widens with path length; the estimator underestimates, worse
+with length.
+"""
+
+from repro.experiments.chain import run_chain_experiment
+
+
+def test_bench_chain_paths(once):
+    rows = once(run_chain_experiment, "ca-GrQc")
+    print()
+    previous_gap = 0.0
+    for r in rows:
+        print(f"  len={r.length} {{1}}={r.ratio_l1:12.3g}"
+              f" {{1,∞}}={r.ratio_l1_inf:10.3g} full={r.ratio_full:8.3g}"
+              f" dsb={r.ratio_dsb:8.3g} textbook={r.ratio_estimator:.3g}")
+        assert 1.0 - 1e-9 <= r.ratio_full
+        assert r.ratio_full <= r.ratio_l1_inf / 3.0  # clear win
+        assert r.ratio_l1_inf < r.ratio_l1
+        assert r.ratio_estimator < 1.0
+        # the closed forms (20) are valid bounds and the LP never loses
+        assert r.ratio_full <= r.ratio_formula_p2 * (1 + 1e-9)
+        assert r.ratio_full <= r.ratio_formula_p3 * (1 + 1e-9)
+        # estimator degrades with length (paper's compounding effect)
+        gap = 1.0 / r.ratio_estimator
+        assert gap > previous_gap
+        previous_gap = gap

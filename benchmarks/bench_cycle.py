@@ -1,0 +1,33 @@
+"""E4 — Example 2.3 / Appendix C.5: the (p+1)-cycle (see DESIGN.md §4).
+
+Regenerates: for p ∈ {2,3,4}, all ℓq bounds (21), the AGM and PANDA
+bounds, and the LP optimum on the (1/(p+1), 1/(p+1))-relation.  Asserts
+the paper's claim: the ℓp-norm gives the best bound for the (p+1)-cycle,
+within a small constant of |Q|, while every alternative is polynomially
+worse.
+"""
+
+import pytest
+
+from repro.experiments.cycle import run_cycle_experiment
+from repro.experiments.harness import ratio_to_true
+
+
+@pytest.mark.parametrize("p", [2, 3, 4])
+def test_bench_cycle_lp_optimality(once, p):
+    exp = once(run_cycle_experiment, p)
+    print(f"\n  ({p+1})-cycle, M={exp.m}, |Q|={exp.true_count}, "
+          f"best q={exp.best_q:g}, LP norms={exp.lp_norms_used}")
+    # the closed-form minimiser is q = p, as the paper proves
+    assert exp.best_q == float(p)
+    # the LP certificate also selects ℓp
+    assert float(p) in exp.lp_norms_used
+    # the ℓp bound is within a small constant of the truth …
+    best = min(exp.rows, key=lambda r: r.log2_bound)
+    assert best.ratio < 8.0
+    # … while AGM and PANDA are polynomially worse
+    assert ratio_to_true(exp.log2_agm, exp.true_count) > 10 * best.ratio
+    assert ratio_to_true(exp.log2_panda, exp.true_count) > 4 * best.ratio
+    # LP never beats the best valid closed form on these statistics, and
+    # must match it here (the certificate is exactly inequality (51))
+    assert abs(exp.log2_lp - best.log2_bound) < 0.35

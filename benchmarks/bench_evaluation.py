@@ -1,0 +1,20 @@
+"""E8 — Sec. 2.2 / Theorem 2.6: evaluation within the bound (DESIGN.md §4).
+
+Regenerates: the metered partitioned evaluation of the one-join and
+triangle workloads.  Asserts: the partitioned algorithm's output equals
+the direct join's, and the metered work stays within the Theorem 2.6
+budget (up to the allowed polylog slack).
+"""
+
+from repro.experiments.evaluation_runtime import run_evaluation_experiment
+
+
+def test_bench_evaluation_runtime(once):
+    rows = once(run_evaluation_experiment, "ca-GrQc")
+    print()
+    for r in rows:
+        print(f"  {r.workload}: parts={r.parts_evaluated} "
+              f"work=2^{r.log2_nodes:.2f} budget=2^{r.log2_budget:.2f}")
+        assert r.output_matches
+        assert r.within_budget
+        assert r.parts_evaluated > 1  # the partitioning actually happened

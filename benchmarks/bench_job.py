@@ -1,0 +1,42 @@
+"""E3 — Figure 1: 33 JOB-like acyclic queries (see DESIGN.md §4).
+
+Regenerates: ratio of ours / AGM / PANDA / textbook to the true count and
+the norms used, for all 33 join templates.  Asserts the paper's shape:
+ours ≤ PANDA ≤ AGM with order-of-magnitude separations on aggregate, the
+estimator underestimates everywhere, ℓ∞ appears in every certificate and
+many distinct intermediate norms appear across the workload.
+"""
+
+import math
+
+from repro.experiments.job import run_job_experiment
+from repro.experiments.harness import format_scientific
+
+
+def test_bench_job_figure1(once):
+    rows = once(run_job_experiment)
+    assert len(rows) == 33
+    print()
+    used_norms = set()
+    for r in rows:
+        print(
+            f"  q{r.query_id:02d} rel={r.num_relations:2d}"
+            f" ours={format_scientific(r.ratio_ours):>9s}"
+            f" panda={format_scientific(r.ratio_panda):>9s}"
+            f" agm={format_scientific(r.ratio_agm):>9s}"
+            f" textbook={format_scientific(r.ratio_estimator):>9s}"
+            f" norms={sorted(r.norms_used)}"
+        )
+        assert r.ratio_ours >= 1.0 - 1e-9  # it is an upper bound
+        assert r.ratio_ours <= r.ratio_panda * (1 + 1e-9)
+        assert r.ratio_panda <= r.ratio_agm * (1 + 1e-9)
+        assert r.ratio_estimator <= 1.0 + 1e-9  # underestimates
+        assert math.inf in r.norms_used  # PK-FK joins ⇒ ℓ∞ everywhere
+        used_norms.update(r.norms_used)
+    # aggregate separations: ours beats PANDA and AGM by large factors
+    geo = lambda vals: math.exp(sum(math.log(v) for v in vals) / len(vals))
+    assert geo([r.ratio_panda / r.ratio_ours for r in rows]) > 3.0
+    assert geo([r.ratio_agm / r.ratio_ours for r in rows]) > 1e3
+    # a wide variety of finite norms is used across the workload
+    finite = {p for p in used_norms if 1.0 < p < math.inf}
+    assert len(finite) >= 5

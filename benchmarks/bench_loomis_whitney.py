@@ -1,0 +1,20 @@
+"""E12 — Appendix C.6: the Loomis–Whitney query (see DESIGN.md §4).
+
+Regenerates: AGM vs the C.6 ℓ2 closed form vs the full LP on skewed
+ternary relations.  Asserts LP ≤ closed form ≤-ish AGM and soundness.
+"""
+
+from repro.experiments.loomis_whitney import run_loomis_whitney_experiment
+
+
+def test_bench_loomis_whitney(once):
+    res = once(run_loomis_whitney_experiment)
+    ratios = res.ratios()
+    print(f"\n  |Q|={res.true_count} agm={ratios['agm']:.3g} "
+          f"c6={ratios['c6']:.3g} lp={ratios['lp']:.3g} "
+          f"norms={res.lp_norms_used}")
+    assert ratios["lp"] >= 1.0 - 1e-9                      # sound
+    assert res.log2_lp <= res.log2_c6_formula + 1e-6       # LP ≤ closed form
+    assert res.log2_lp <= res.log2_agm + 1e-6              # LP ≤ AGM
+    assert res.log2_c6_formula < res.log2_agm              # ℓ2 helps
+    assert any(p > 1.0 for p in res.lp_norms_used)

@@ -1,0 +1,22 @@
+"""E10 — ablation: LP solver scaling across cones (DESIGN.md §4).
+
+Regenerates: solve times for path queries of growing length under the
+polymatroid and normal cones.  Asserts the two cones agree on every bound
+(Theorem 6.1, simple statistics) and that the normal cone scales better
+on the largest instance.
+"""
+
+from repro.experiments.lp_scaling import run_lp_scaling
+
+
+def test_bench_lp_scaling(once):
+    rows = once(run_lp_scaling)
+    print()
+    for r in rows:
+        poly = ("-" if r.seconds_polymatroid is None
+                else f"{r.seconds_polymatroid * 1e3:8.1f}ms")
+        print(f"  n={r.num_variables:2d} normal={r.seconds_normal * 1e3:8.1f}ms"
+              f" polymatroid={poly}")
+        assert r.bounds_agree
+    largest_with_poly = [r for r in rows if r.seconds_polymatroid is not None][-1]
+    assert largest_with_poly.seconds_normal < largest_with_poly.seconds_polymatroid

@@ -1,0 +1,82 @@
+"""Micro-benchmarks for the library's hot paths.
+
+Unlike the experiment benchmarks (one-shot table regeneration), these use
+pytest-benchmark's normal multi-round timing to characterise the cost of
+the core operations a cardinality-estimation system would run per query:
+statistics collection, the bound LP in each cone, degree-sequence
+extraction, and the evaluators.
+"""
+
+import math
+
+import pytest
+
+from repro.core import StatisticsCatalog, collect_statistics, lp_bound
+from repro.core.degree import degree_sequence
+from repro.datasets import power_law_graph, snap_database
+from repro.evaluation import acyclic_count, count_query
+from repro.query import parse_query
+
+TRIANGLE = parse_query("t(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+PATH4 = parse_query("p(a,b,c,d,e) :- R(a,b), R(b,c), R(c,d), R(d,e)")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return snap_database("ca-GrQc")
+
+
+@pytest.fixture(scope="module")
+def triangle_stats(db):
+    return collect_statistics(TRIANGLE, db, ps=[1.0, 2.0, 3.0, math.inf])
+
+
+def test_bench_degree_sequence(benchmark, db):
+    seq = benchmark(degree_sequence, db["R"], ["y"], ["x"])
+    assert seq[0] >= seq[-1]
+
+
+def test_bench_collect_statistics(benchmark, db):
+    stats = benchmark(
+        collect_statistics, TRIANGLE, db, [1.0, 2.0, 3.0, math.inf]
+    )
+    assert len(stats) > 0
+
+
+def test_bench_catalog_warm_lookup(benchmark, db):
+    catalog = StatisticsCatalog(db)
+    catalog.statistics_for(TRIANGLE, ps=[1.0, 2.0, 3.0, math.inf])  # warm
+
+    def warm():
+        return catalog.statistics_for(TRIANGLE, ps=[1.0, 2.0, 3.0, math.inf])
+
+    stats = benchmark(warm)
+    assert len(stats) > 0
+
+
+def test_bench_lp_normal_cone(benchmark, triangle_stats):
+    result = benchmark(
+        lp_bound, triangle_stats, query=TRIANGLE, cone="normal"
+    )
+    assert result.status == "optimal"
+
+
+def test_bench_lp_polymatroid_cone(benchmark, triangle_stats):
+    result = benchmark(
+        lp_bound, triangle_stats, query=TRIANGLE, cone="polymatroid"
+    )
+    assert result.status == "optimal"
+
+
+def test_bench_wcoj_triangle(benchmark):
+    small = power_law_graph(600, 3000, 0.6, seed=8)
+    from repro.relational import Database
+
+    db_small = Database({"R": small})
+    count = benchmark(count_query, TRIANGLE, db_small)
+    assert count >= 0
+
+
+def test_bench_acyclic_count_path(benchmark, db):
+    count = benchmark(acyclic_count, PATH4, db)
+    assert count > 0

@@ -1,0 +1,21 @@
+"""E7 — Theorem D.3(2): the 35/36 non-Shannon gap (see DESIGN.md §4).
+
+Regenerates: the polymatroid LP bound with and without the Zhang–Yeung
+inequality on the Appendix D.2 query and statistics.  Asserts the exact
+values 4k and 35k/9, for two scalings k.
+"""
+
+import pytest
+
+from repro.experiments.nonshannon import run_nonshannon_experiment
+
+
+@pytest.mark.parametrize("k", [1.0, 3.0])
+def test_bench_nonshannon_gap(once, k):
+    res = once(run_nonshannon_experiment, k)
+    print(f"\n  k={k:g}: polymatroid={res.log2_polymatroid:.4f}, "
+          f"+ZY={res.log2_with_zhang_yeung:.4f}, "
+          f"ratio={res.exponent_ratio:.4f}")
+    assert abs(res.log2_polymatroid - 4.0 * k) < 1e-5
+    assert abs(res.log2_with_zhang_yeung - 35.0 * k / 9.0) < 1e-5
+    assert abs(res.exponent_ratio - 35.0 / 36.0) < 1e-6

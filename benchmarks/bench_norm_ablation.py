@@ -1,0 +1,24 @@
+"""E9 — ablation: bound quality vs available norm family (DESIGN.md §4).
+
+Regenerates: geometric-mean bound/true ratios over the JOB-like workload
+for nested norm families.  Asserts monotone improvement, the huge jump
+from {1} to {1,∞}, and a further multi-x gain from intermediate norms —
+the paper's "wide variety of norms is useful" observation.
+"""
+
+from repro.experiments.norm_ablation import run_norm_ablation
+
+
+def test_bench_norm_ablation(once):
+    rows = once(run_norm_ablation)
+    print()
+    for r in rows:
+        print(f"  {r.label:12s} geomean={r.geomean_ratio:10.3g} "
+              f"worst={r.worst_ratio:10.3g}")
+    # monotone improvement as the family grows
+    for earlier, later in zip(rows, rows[1:]):
+        assert later.geomean_ratio <= earlier.geomean_ratio * (1 + 1e-9)
+    # {1} → {1,∞} is the big cliff (PK-FK joins)
+    assert rows[0].geomean_ratio / rows[1].geomean_ratio > 100
+    # intermediate norms buy another useful factor over {1,∞}
+    assert rows[1].geomean_ratio / rows[-1].geomean_ratio > 2

@@ -1,0 +1,23 @@
+"""E6 — Example 6.7: normal vs product worst cases (see DESIGN.md §4).
+
+Regenerates: the ℓ4 triangle-plus-unaries instance.  Asserts: LP bound =
+B exactly; the normal database satisfies the statistics and achieves
+≥ B/2; the best product database satisfies them but is capped at B^{3/5}.
+"""
+
+import math
+
+from repro.experiments.normal_vs_product import run_normal_vs_product
+
+
+def test_bench_normal_vs_product(once):
+    res = once(run_normal_vs_product, 12.0)
+    print(f"\n  B=2^12: LP=2^{res.log2_lp_bound:g}, normal={res.normal_count}, "
+          f"product={res.product_count}")
+    assert abs(res.log2_lp_bound - res.b_log2) < 1e-6
+    assert res.normal_satisfies
+    assert res.normal_count >= 2 ** (res.b_log2 - 1)  # ≥ B/2
+    assert res.product_satisfies
+    assert math.log2(res.product_count) <= res.log2_product_limit + 1e-9
+    # the separation itself: normal beats any product asymptotically
+    assert res.normal_count > 8 * res.product_count

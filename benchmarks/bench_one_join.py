@@ -1,0 +1,29 @@
+"""E2 — Appendix C.1 one-join table (see DESIGN.md §4).
+
+Regenerates: per-dataset ratios for the self-join R(x,y) ⋈ R(y,z).
+Asserts the paper's shape: the {2}-bound is exactly 1.0 on these
+symmetric calibrated relations (Sec. 2.1's self-join observation), {1,∞}
+is ~an order of magnitude off, {1} is 10²–10⁴ off, and the textbook
+estimator *under*-estimates.
+"""
+
+from repro.experiments.one_join import run_one_join_experiment
+
+
+def test_bench_one_join_snap(once):
+    rows = once(run_one_join_experiment)
+    assert len(rows) == 7
+    print()
+    for r in rows:
+        print(
+            f"  {r.dataset:16s} {{1}}={r.ratio_l1:12.2f}"
+            f" {{1,∞}}={r.ratio_l1_inf:8.2f} {{2}}={r.ratio_l2:6.3f}"
+            f" textbook={r.ratio_estimator:6.3f} |Q|={r.true_count}"
+        )
+        # Eq. (18) is an equality for symmetric self-joins
+        assert abs(r.ratio_l2 - 1.0) < 1e-6
+        assert r.ratio_l1_inf >= 2.0
+        assert r.ratio_l1 > 50.0
+        assert r.ratio_l1 > r.ratio_l1_inf > r.ratio_l2
+        # estimator underestimates the skewed acyclic join
+        assert r.ratio_estimator < 1.0

@@ -1,0 +1,33 @@
+"""E1 — Appendix C.1 triangle table (see DESIGN.md §4).
+
+Regenerates: per-dataset ratios of the {1}, {1,∞}, {2} bounds and the
+textbook estimate to the true triangle count.  Asserts the paper's shape:
+{2} ≪ {1,∞} ≤ {1}; the estimator overestimates this cyclic query.
+"""
+
+import math
+
+from repro.experiments.triangle import run_triangle_experiment
+
+
+def test_bench_triangle_snap(once):
+    rows = once(run_triangle_experiment)
+    assert len(rows) == 7
+    print()
+    for r in rows:
+        print(
+            f"  {r.dataset:16s} {{1}}={r.ratio_l1:10.2f}"
+            f" {{1,∞}}={r.ratio_l1_inf:10.2f} {{2}}={r.ratio_l2:8.2f}"
+            f" textbook={r.ratio_estimator:8.2f} |Q|={r.true_count}"
+        )
+        # bounds are upper bounds
+        assert r.ratio_l1 >= 1.0 and r.ratio_l1_inf >= 1.0 and r.ratio_l2 >= 1.0
+        # the paper's ordering: {2} strictly better than {1,∞} ≤ {1}
+        assert r.ratio_l2 < r.ratio_l1_inf <= r.ratio_l1 * (1 + 1e-9)
+        assert r.ratio_l2 < r.ratio_l1 / 1.5
+        # the full family never does worse than {2} alone
+        assert r.ratio_full <= r.ratio_l2 * (1 + 1e-9)
+        # DuckDB-style estimator overestimates the cyclic triangle
+        assert r.ratio_estimator > 1.0
+        # every optimal certificate uses some finite p ≥ 2
+        assert any(1.0 < p < math.inf for p in r.norms_used)

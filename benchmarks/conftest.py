@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (DESIGN.md
+§4).  Experiments are deterministic but not micro-benchmarks, so each runs
+once per session (pedantic mode, 1 round) and asserts the paper's
+qualitative *shape* — who wins, by roughly what factor — on top of timing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

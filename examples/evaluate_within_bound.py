@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Query evaluation within the ℓp bound (Sec. 2.2, Theorem 2.6).
+
+Demonstrates the paper's evaluation algorithm: partition each relation by
+degree buckets (Lemma 2.5) so every part *strongly satisfies* its ℓp
+statistic, evaluate the union of per-part queries, and verify that the
+metered work stays within the c · Π B_i^{w_i} budget of Theorem 2.6 —
+while producing exactly the same output as a direct join.
+
+Run:  python examples/evaluate_within_bound.py
+"""
+
+import math
+
+from repro import Database, collect_statistics, lp_bound, parse_query
+from repro.datasets import power_law_graph
+from repro.evaluation import count_query, evaluate_with_partitioning
+
+
+def main() -> None:
+    edges = power_law_graph(num_nodes=500, num_edges=3000, exponent=0.8, seed=3)
+    db = Database({"R": edges})
+    query = parse_query("paths(x,y,z) :- R(x,y), R(y,z)")
+
+    stats = collect_statistics(query, db, ps=[1.0, 2.0, math.inf])
+    bound = lp_bound(stats, query=query)
+    print(f"query: {query}")
+    print(f"ℓp bound: 2^{bound.log2_bound:.2f} using norms {bound.norms_used()}")
+
+    run = evaluate_with_partitioning(query, db, bound)
+    direct = count_query(query, db)
+    print(f"\npartitioned evaluation (Theorem 2.6):")
+    print(f"  part combinations evaluated : {run.parts_evaluated}")
+    print(f"  output size                 : {run.count}"
+          f"  (direct join agrees: {run.count == direct})")
+    print(f"  metered work                : 2^"
+          f"{math.log2(max(1, run.nodes_visited)):.2f} search nodes")
+    print(f"  Theorem 2.6 budget          : 2^{run.log2_budget:.2f}"
+          f"  (within budget: {run.within_budget()})")
+
+
+if __name__ == "__main__":
+    main()

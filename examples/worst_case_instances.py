@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Tightness: materialising the worst-case (normal) database.
+
+Section 6 of the paper proves the polymatroid bound tight for simple
+statistics by constructing a *normal database* — projections of a domain
+product of basic normal relations.  This example reproduces Example 6.7
+end to end:
+
+1. state the ℓ4 + cardinality statistics (40) with B = 2^10;
+2. solve the bound LP over the normal cone → bound B, with the optimal
+   step-function decomposition h* = b·h_{XYZ};
+3. materialise the Lemma 6.2 witness (here: the diagonal {(k,k,k)});
+4. verify it satisfies every statistic and its query output is ≥ B/2;
+5. contrast with the best *product* database, stuck at B^{3/5}.
+
+Run:  python examples/worst_case_instances.py
+"""
+
+import math
+
+from repro.evaluation import count_query
+from repro.experiments.normal_vs_product import (
+    example67_query,
+    example67_statistics,
+    run_normal_vs_product,
+)
+from repro.core import lp_bound
+from repro.tightness import build_worst_case
+
+
+def main() -> None:
+    b = 10.0  # log2 B
+    query = example67_query()
+    stats = example67_statistics(b)
+    print(f"query: {query}")
+    print(f"statistics: ℓ4-norms of R1..R3 bounded by 2^{b/4:g}, "
+          f"|S1..S3| ≤ 2^{b:g}\n")
+
+    bound = lp_bound(stats, query=query, cone="normal")
+    print(f"polymatroid bound (via normal cone): 2^{bound.log2_bound:g}")
+    print("optimal normal polymatroid h* = "
+          + " + ".join(
+              f"{alpha:.3g}·h_{{{','.join(sorted(bound.entropy_vector().subset_of_mask(mask)))}}}"
+              for mask, alpha in sorted(bound.normal_coefficients.items())
+          ))
+
+    worst = build_worst_case(query, bound)
+    achieved = count_query(query, worst.database)
+    print(f"\nworst-case normal database: witness relation of "
+          f"{len(worst.witness)} tuples")
+    print(f"  satisfies all statistics: {stats.holds_on(worst.database)}")
+    print(f"  |Q(D)| = {achieved}  (bound 2^{bound.log2_bound:g} = "
+          f"{2 ** bound.log2_bound:g}; Lemma 6.2 guarantees ≥ bound/2^c)")
+
+    res = run_normal_vs_product(b)
+    print(f"\nbest product database instead: |Q| = {res.product_count}"
+          f" ≤ B^(3/5) = {2 ** res.log2_product_limit:.1f}"
+          " — asymptotically smaller, as Example 6.7 proves.")
+
+
+if __name__ == "__main__":
+    main()

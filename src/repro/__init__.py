@@ -1,0 +1,56 @@
+"""LpBound — join size bounds from ℓp-norms on degree sequences.
+
+A from-scratch reproduction of "Join Size Bounds using ℓp-Norms on Degree
+Sequences" (Abo Khamis, Nakos, Olteanu, Suciu — PODS 2024).
+
+Quick start::
+
+    from repro import parse_query, Relation, Database
+    from repro import collect_statistics, lp_bound
+
+    db = Database({"R": Relation(("x", "y"), edges)})
+    q = parse_query("Q(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+    stats = collect_statistics(q, db, ps=[1, 2, 3, float("inf")])
+    print(lp_bound(stats, query=q).bound)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    BoundResult,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+    collect_statistics,
+    degree_sequence,
+    log2_norm,
+    lp_bound,
+    lp_norm,
+    product_form,
+    verify_certificate,
+)
+from .query import Atom, ConjunctiveQuery, parse_query
+from .relational import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Relation",
+    "Database",
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    "Conditional",
+    "ConcreteStatistic",
+    "StatisticsSet",
+    "collect_statistics",
+    "degree_sequence",
+    "log2_norm",
+    "lp_norm",
+    "lp_bound",
+    "BoundResult",
+    "product_form",
+    "verify_certificate",
+    "__version__",
+]

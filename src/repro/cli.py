@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``bound``
+    Parse a query, collect statistics over a database loaded from CSV
+    files, and print the bound with its certificate.
+``experiment``
+    Run one of the paper experiments (E1–E13) and print its table.
+``list``
+    List available experiments.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro experiment E7
+    python -m repro bound --query "Q(x,y,z) :- R(x,y), R(y,z), R(z,x)" \
+        --table R=edges.csv --norms 1,2,3,inf
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import math
+import sys
+from typing import Sequence
+
+from . import collect_statistics, lp_bound, parse_query
+from .core import product_form
+from .relational import Database, Relation
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, str] = {
+    "E1": "triangle",
+    "E2": "one_join",
+    "E3": "job",
+    "E4": "cycle",
+    "E5": "dsb_gap",
+    "E6": "normal_vs_product",
+    "E7": "nonshannon",
+    "E8": "evaluation_runtime",
+    "E9": "norm_ablation",
+    "E10": "lp_scaling",
+    "E11": "chain",
+    "E12": "loomis_whitney",
+    "E13": "appendix_b",
+}
+
+
+def _parse_norms(text: str) -> list[float]:
+    norms = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        norms.append(math.inf if token in ("inf", "∞") else float(token))
+    if not norms:
+        raise argparse.ArgumentTypeError("no norms given")
+    return norms
+
+
+def _load_csv_relation(path: str, name: str) -> Relation:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = []
+        for row in reader:
+            converted = []
+            for cell in row:
+                try:
+                    converted.append(int(cell))
+                except ValueError:
+                    converted.append(cell)
+            rows.append(tuple(converted))
+    return Relation(tuple(header), rows, name=name)
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    relations = {}
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--table expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        relations[name] = _load_csv_relation(path, name)
+    db = Database(relations)
+    stats = collect_statistics(query, db, ps=args.norms)
+    result = lp_bound(stats, query=query)
+    print(f"query    : {query}")
+    print(f"status   : {result.status} (cone: {result.cone})")
+    print(f"bound    : {result.bound:.6g}  (log2 = {result.log2_bound:.4f})")
+    if result.status == "optimal":
+        print(f"norms    : {result.norms_used()}")
+        print(f"certificate: |Q| ≤ {product_form(result)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.upper()
+    module_name = EXPERIMENTS.get(key, args.id)
+    if module_name not in EXPERIMENTS.values():
+        print(f"unknown experiment {args.id!r}; try `list`", file=sys.stderr)
+        return 2
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    print(module.main())
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for key, module_name in EXPERIMENTS.items():
+        print(f"{key:5s} repro.experiments.{module_name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LpBound: join size bounds from lp-norms (PODS 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bound = sub.add_parser("bound", help="bound a query over CSV tables")
+    bound.add_argument("--query", required=True, help="datalog-style query")
+    bound.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="CSV file backing a relation (repeatable)",
+    )
+    bound.add_argument(
+        "--norms",
+        type=_parse_norms,
+        default=[1.0, 2.0, 3.0, math.inf],
+        help="comma-separated p values, e.g. 1,2,3,inf",
+    )
+    bound.set_defaults(func=_cmd_bound)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("id", help="experiment id (E1..E13) or module name")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser("list", help="list available experiments")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Core LpBound machinery: degree statistics and the bound LP."""
+
+from .catalog import StatisticsCatalog
+from .certificates import certificate_gap, product_form, verify_certificate
+from .constraints import fd_statistic, key_statistic, key_statistics_for_query
+from .conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+    collect_statistics,
+)
+from .degree import average_degree, degree_sequence, max_degree
+from .lp_bound import CONES, BoundResult, lp_bound
+from .norms import (
+    log2_norm,
+    lp_norm,
+    norms_of_sequence,
+    sequence_from_norms,
+)
+
+__all__ = [
+    "Conditional",
+    "AbstractStatistic",
+    "ConcreteStatistic",
+    "StatisticsSet",
+    "StatisticsCatalog",
+    "collect_statistics",
+    "degree_sequence",
+    "max_degree",
+    "average_degree",
+    "log2_norm",
+    "lp_norm",
+    "norms_of_sequence",
+    "sequence_from_norms",
+    "lp_bound",
+    "BoundResult",
+    "CONES",
+    "product_form",
+    "verify_certificate",
+    "certificate_gap",
+    "fd_statistic",
+    "key_statistic",
+    "key_statistics_for_query",
+]

@@ -1,0 +1,165 @@
+"""A precomputed-statistics catalog — the system-facing interface.
+
+The paper's standing assumption (Sec. 1, Sec. 2.1) is that ℓp-norms are
+*precomputed* and merely looked up at estimation time; computing a degree
+sequence costs O(N log N) once, after which every norm is O(length).
+:class:`StatisticsCatalog` realises that split: it caches degree sequences
+per (relation, conditional) and serves concrete statistics for any norm on
+demand, so a workload of many queries over one database pays the
+sequence-extraction cost once.
+
+This is the object a query optimiser would hold; ``collect_statistics``
+remains the convenient one-shot path for scripts and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..query.query import Atom, ConjunctiveQuery
+from ..relational import Database
+from .conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+from .degree import degree_sequence
+from .norms import log2_norm
+
+__all__ = ["StatisticsCatalog"]
+
+
+class StatisticsCatalog:
+    """Per-database cache of degree sequences and their norms.
+
+    Examples
+    --------
+    >>> catalog = StatisticsCatalog(db)
+    >>> stats = catalog.statistics_for(query, ps=[1, 2, 3, float("inf")])
+    >>> result = lp_bound(stats, query=query)   # doctest: +SKIP
+    """
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        # (relation name, v-cols, u-cols) -> degree sequence
+        self._sequences: dict[tuple, np.ndarray] = {}
+        # (sequence key, p) -> log2 norm
+        self._norms: dict[tuple, float] = {}
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    def cached_sequences(self) -> int:
+        """Number of degree sequences materialised so far."""
+        return len(self._sequences)
+
+    def cached_norms(self) -> int:
+        """Number of (sequence, p) norms memoised so far."""
+        return len(self._norms)
+
+    # ------------------------------------------------------------------
+    def sequence(
+        self,
+        relation_name: str,
+        v_attrs: Sequence[str],
+        u_attrs: Sequence[str] = (),
+    ) -> np.ndarray:
+        """The cached degree sequence deg_relation(V | U).
+
+        Keys are canonicalised (column order within V and within U does not
+        change the sequence), so self-join atoms binding the same columns
+        under different variable names share one cache entry.
+        """
+        key = (relation_name, tuple(sorted(v_attrs)), tuple(sorted(u_attrs)))
+        cached = self._sequences.get(key)
+        if cached is None:
+            cached = degree_sequence(self._db[relation_name], key[1], key[2])
+            self._sequences[key] = cached
+        return cached
+
+    def log2_norm(
+        self,
+        relation_name: str,
+        v_attrs: Sequence[str],
+        u_attrs: Sequence[str],
+        p: float,
+    ) -> float:
+        """The cached log2 ℓp-norm of deg_relation(V | U)."""
+        key = (relation_name, tuple(sorted(v_attrs)), tuple(sorted(u_attrs)), p)
+        cached = self._norms.get(key)
+        if cached is None:
+            cached = log2_norm(self.sequence(relation_name, v_attrs, u_attrs), p)
+            self._norms[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def _atom_statistics(
+        self,
+        atom: Atom,
+        ps: Sequence[float],
+        join_vars: frozenset[str],
+    ) -> Iterable[ConcreteStatistic]:
+        relation = self._db[atom.relation]
+        if len(set(atom.variables)) != len(atom.variables):
+            # repeated-variable atoms fall back to the uncached one-shot
+            # path, which handles the diagonal selection correctly.
+            from .conditionals import _atom_statistics as uncached
+
+            yield from uncached(atom, relation, ps, join_vars, True, True)
+            return
+        mapping = {
+            var: relation.attributes[i]
+            for i, var in enumerate(atom.variables)
+        }
+        variables = atom.variables
+        cond = Conditional(frozenset(variables))
+        v_cols = [mapping[v] for v in sorted(variables)]
+        yield ConcreteStatistic(
+            AbstractStatistic(cond, 1.0),
+            self.log2_norm(atom.relation, v_cols, (), 1.0),
+            atom,
+        )
+        for var in variables:
+            if var not in join_vars:
+                continue
+            yield ConcreteStatistic(
+                AbstractStatistic(Conditional(frozenset({var})), 1.0),
+                self.log2_norm(atom.relation, [mapping[var]], (), 1.0),
+                atom,
+            )
+            others = frozenset(variables) - {var}
+            if not others:
+                continue
+            v_cols = [mapping[v] for v in sorted(others)]
+            for p in ps:
+                yield ConcreteStatistic(
+                    AbstractStatistic(Conditional(others, frozenset({var})), p),
+                    self.log2_norm(atom.relation, v_cols, [mapping[var]], p),
+                    atom,
+                )
+
+    def statistics_for(
+        self,
+        query: ConjunctiveQuery,
+        ps: Sequence[float] = (1.0, 2.0, math.inf),
+        join_variables_only: bool = True,
+    ) -> StatisticsSet:
+        """The same statistics family as :func:`collect_statistics`,
+        served from the cache."""
+        if join_variables_only:
+            counts: dict[str, int] = {}
+            for atom in query.atoms:
+                for v in atom.variable_set:
+                    counts[v] = counts.get(v, 0) + 1
+            join_vars = frozenset(v for v, c in counts.items() if c >= 2)
+        else:
+            join_vars = query.variable_set
+        stats: list[ConcreteStatistic] = []
+        for atom in query.atoms:
+            stats.extend(self._atom_statistics(atom, ps, join_vars))
+        return StatisticsSet(stats).deduplicated()

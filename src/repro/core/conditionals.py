@@ -1,0 +1,378 @@
+"""Abstract conditionals and (concrete) ℓp statistics (Sec. 1.2).
+
+The paper's statistics language:
+
+* an **abstract conditional** σ = (V | U) over query variables;
+* an **abstract statistic** τ = (σ, p) with p ∈ (0, ∞];
+* a **concrete statistic** (τ, B) asserts ``||deg_R(V|U)||_p ≤ B`` on the
+  guard relation R; we carry b = log2(B);
+* a **statistics set** (Σ, B) guarded by a query.
+
+:func:`collect_statistics` computes a standard family of *simple*
+statistics (|U| ≤ 1, the Sec. 6 tightness regime and exactly what the
+paper's JOB experiment uses): per atom, the cardinality (an ℓ1 statistic)
+and, for every variable of the atom, ``deg(other vars | var)`` for each
+requested p, plus the distinct count of each variable (an ℓ1 statistic on
+(var | ∅)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..relational import Database, Relation
+from ..query.query import Atom, ConjunctiveQuery
+from .degree import degree_sequence
+from .norms import log2_norm
+
+__all__ = [
+    "Conditional",
+    "AbstractStatistic",
+    "ConcreteStatistic",
+    "StatisticsSet",
+    "collect_statistics",
+]
+
+
+def _format_vars(vs: frozenset[str]) -> str:
+    return ",".join(sorted(vs)) if vs else "∅"
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """An abstract conditional (V | U) over query variables."""
+
+    v: frozenset[str]
+    u: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "v", frozenset(self.v))
+        object.__setattr__(self, "u", frozenset(self.u))
+        if not self.v:
+            raise ValueError("V must be non-empty in a conditional (V | U)")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """U ∪ V — the variables a guard atom must cover."""
+        return self.u | self.v
+
+    @property
+    def is_simple(self) -> bool:
+        """Simple conditionals have |U| ≤ 1 (Sec. 6)."""
+        return len(self.u) <= 1
+
+    def __str__(self) -> str:
+        return f"({_format_vars(self.v)}|{_format_vars(self.u)})"
+
+
+@dataclass(frozen=True)
+class AbstractStatistic:
+    """An abstract statistic τ = (σ, p)."""
+
+    conditional: Conditional
+    p: float
+
+    def __post_init__(self) -> None:
+        if not (self.p > 0):
+            raise ValueError(f"p must be in (0, ∞], got {self.p}")
+
+    @property
+    def is_simple(self) -> bool:
+        return self.conditional.is_simple
+
+    def __str__(self) -> str:
+        p = "∞" if self.p == math.inf else f"{self.p:g}"
+        return f"ℓ{p}{self.conditional}"
+
+
+@dataclass(frozen=True)
+class ConcreteStatistic:
+    """A concrete statistic: ||deg_{guard}(V|U)||_p ≤ 2^log2_bound.
+
+    ``guard`` is the query atom whose relation witnesses the conditional;
+    its variable tuple maps query variables to relation columns.
+    """
+
+    statistic: AbstractStatistic
+    log2_bound: float
+    guard: Atom
+
+    def __post_init__(self) -> None:
+        missing = self.statistic.conditional.variables - self.guard.variable_set
+        if missing:
+            raise ValueError(
+                f"guard {self.guard} does not cover {sorted(missing)}"
+            )
+
+    # convenience accessors -------------------------------------------------
+    @property
+    def conditional(self) -> Conditional:
+        return self.statistic.conditional
+
+    @property
+    def p(self) -> float:
+        return self.statistic.p
+
+    @property
+    def bound(self) -> float:
+        """B = 2^b in linear space (may be inf for huge b)."""
+        try:
+            return 2.0 ** self.log2_bound
+        except OverflowError:  # pragma: no cover
+            return math.inf
+
+    @property
+    def is_simple(self) -> bool:
+        return self.statistic.is_simple
+
+    def __str__(self) -> str:
+        return (
+            f"log2 ||deg_{self.guard.relation}{self.conditional}||_"
+            f"{'∞' if self.p == math.inf else format(self.p, 'g')}"
+            f" ≤ {self.log2_bound:.4g}"
+        )
+
+    # measurement ------------------------------------------------------------
+    def _attr_map(self, relation: Relation) -> dict[str, str]:
+        mapping: dict[str, str] = {}
+        for position, var in enumerate(self.guard.variables):
+            mapping.setdefault(var, relation.attributes[position])
+        return mapping
+
+    def measured_log2(self, db: Database) -> float:
+        """log2 ||deg(V|U)||_p actually measured on the database."""
+        relation = db[self.guard.relation]
+        if len(set(self.guard.variables)) != len(self.guard.variables):
+            # repeated variable in the atom: restrict to rows where the
+            # repeated columns agree before measuring.
+            groups: dict[str, list[int]] = {}
+            for position, var in enumerate(self.guard.variables):
+                groups.setdefault(var, []).append(position)
+            repeated = [ps for ps in groups.values() if len(ps) > 1]
+            relation = relation.select(
+                lambda row: all(
+                    len({row[i] for i in ps}) == 1 for ps in repeated
+                )
+            )
+        mapping = self._attr_map(relation)
+        cond = self.conditional
+        seq = degree_sequence(
+            relation,
+            [mapping[v] for v in sorted(cond.v)],
+            [mapping[u] for u in sorted(cond.u)],
+        )
+        return log2_norm(seq, self.p)
+
+    def holds_on(self, db: Database, tolerance_log2: float = 1e-9) -> bool:
+        """Whether the statistic is satisfied by the database."""
+        return self.measured_log2(db) <= self.log2_bound + tolerance_log2
+
+
+class StatisticsSet:
+    """A set of concrete statistics (Σ, B) guarded by a query."""
+
+    def __init__(self, statistics: Iterable[ConcreteStatistic]) -> None:
+        self._stats = list(statistics)
+
+    def __iter__(self) -> Iterator[ConcreteStatistic]:
+        return iter(self._stats)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __getitem__(self, idx: int) -> ConcreteStatistic:
+        return self._stats[idx]
+
+    @property
+    def is_simple(self) -> bool:
+        """Whether every statistic is simple (Theorem 6.1 regime)."""
+        return all(s.is_simple for s in self._stats)
+
+    @property
+    def norms_used(self) -> set[float]:
+        return {s.p for s in self._stats}
+
+    def restrict_ps(self, ps: Iterable[float]) -> "StatisticsSet":
+        """Keep only statistics with p in ``ps`` (e.g. {1}, {1, ∞})."""
+        allowed = set(ps)
+        return StatisticsSet(s for s in self._stats if s.p in allowed)
+
+    def add(self, stat: ConcreteStatistic) -> "StatisticsSet":
+        return StatisticsSet([*self._stats, stat])
+
+    def merged(self, other: "StatisticsSet") -> "StatisticsSet":
+        return StatisticsSet([*self._stats, *other])
+
+    def deduplicated(self) -> "StatisticsSet":
+        """Keep the tightest bound per (conditional, p, guard relation)."""
+        best: dict[tuple, ConcreteStatistic] = {}
+        for s in self._stats:
+            key = (s.conditional, s.p, s.guard)
+            if key not in best or s.log2_bound < best[key].log2_bound:
+                best[key] = s
+        return StatisticsSet(best.values())
+
+    def holds_on(self, db: Database, tolerance_log2: float = 1e-9) -> bool:
+        return all(s.holds_on(db, tolerance_log2) for s in self._stats)
+
+    def __repr__(self) -> str:
+        return f"<StatisticsSet with {len(self._stats)} statistics>"
+
+
+def _pair_conditionals(
+    atom: Atom,
+    relation: Relation,
+    mapping: dict[str, str],
+    distinct_vars: tuple[str, ...],
+    join_variables: frozenset[str],
+    ps: Sequence[float],
+) -> Iterator[ConcreteStatistic]:
+    """Non-simple conditionals (rest | {u1,u2}) for atoms of arity ≥ 3.
+
+    These leave the Theorem 6.1 regime (the polymatroid cone becomes
+    necessary and tightness is no longer guaranteed) but can strictly
+    tighten bounds on ternary-and-wider relations.
+    """
+    import itertools as _it
+
+    join_in_atom = [v for v in distinct_vars if v in join_variables]
+    for u_pair in _it.combinations(join_in_atom, 2):
+        others = frozenset(distinct_vars) - set(u_pair)
+        if not others:
+            continue
+        seq = degree_sequence(
+            relation,
+            [mapping[v] for v in sorted(others)],
+            [mapping[u] for u in sorted(u_pair)],
+        )
+        for p in ps:
+            yield ConcreteStatistic(
+                AbstractStatistic(
+                    Conditional(others, frozenset(u_pair)), p
+                ),
+                log2_norm(seq, p),
+                atom,
+            )
+
+
+def _atom_statistics(
+    atom: Atom,
+    relation: Relation,
+    ps: Sequence[float],
+    join_variables: frozenset[str],
+    include_cardinalities: bool,
+    include_distinct_counts: bool,
+) -> Iterator[ConcreteStatistic]:
+    distinct_vars = tuple(dict.fromkeys(atom.variables))
+    if len(distinct_vars) != len(atom.variables):
+        # repeated variable in the atom: measure on the diagonal selection,
+        # mirroring ConcreteStatistic.measured_log2.
+        groups: dict[str, list[int]] = {}
+        for position, var in enumerate(atom.variables):
+            groups.setdefault(var, []).append(position)
+        repeated = [ps_ for ps_ in groups.values() if len(ps_) > 1]
+        relation = relation.select(
+            lambda row: all(len({row[i] for i in ps_}) == 1 for ps_ in repeated)
+        )
+    mapping: dict[str, str] = {}
+    for position, var in enumerate(atom.variables):
+        mapping.setdefault(var, relation.attributes[position])
+    if include_cardinalities:
+        cond = Conditional(frozenset(distinct_vars))
+        seq = degree_sequence(relation, [mapping[v] for v in sorted(cond.v)])
+        yield ConcreteStatistic(
+            AbstractStatistic(cond, 1.0), log2_norm(seq, 1.0), atom
+        )
+    for var in distinct_vars:
+        if var not in join_variables:
+            continue
+        others = frozenset(distinct_vars) - {var}
+        if include_distinct_counts:
+            cond = Conditional(frozenset({var}))
+            seq = degree_sequence(relation, [mapping[var]])
+            yield ConcreteStatistic(
+                AbstractStatistic(cond, 1.0), log2_norm(seq, 1.0), atom
+            )
+        if not others:
+            continue
+        seq = degree_sequence(
+            relation,
+            [mapping[v] for v in sorted(others)],
+            [mapping[var]],
+        )
+        for p in ps:
+            yield ConcreteStatistic(
+                AbstractStatistic(Conditional(others, frozenset({var})), p),
+                log2_norm(seq, p),
+                atom,
+            )
+
+
+def collect_statistics(
+    query: ConjunctiveQuery,
+    db: Database,
+    ps: Sequence[float] = (1.0, 2.0, math.inf),
+    join_variables_only: bool = True,
+    include_cardinalities: bool = True,
+    include_distinct_counts: bool = True,
+    max_u_size: int = 1,
+) -> StatisticsSet:
+    """Measure a standard family of simple statistics on a database.
+
+    For every atom R(Z): the cardinality |Π_Z(R)| (ℓ1 on (Z | ∅)); and for
+    every (join) variable A ∈ Z, the distinct count |Π_A(R)| and
+    ``||deg_R(Z − A | A)||_p`` for each requested p.  All statistics are
+    *simple*, so the polymatroid bound computed from them is tight
+    (Corollary 6.3) and the fast normal-cone LP is exact (Theorem 6.1).
+
+    Parameters
+    ----------
+    ps:
+        The ℓp norms to precompute, e.g. ``[1, 2, ..., 30, math.inf]`` for
+        the paper's JOB experiment.
+    join_variables_only:
+        When true (default), per-variable statistics are collected only for
+        variables shared by ≥ 2 atoms; non-join variables never help the
+        bound of a full query beyond the cardinality statistic.
+    max_u_size:
+        1 (default) keeps every statistic simple.  2 additionally collects
+        (rest | {u1, u2}) conditionals on atoms of arity ≥ 3 — *non-simple*
+        statistics that force the polymatroid cone but can tighten bounds
+        on wide relations.
+    """
+    if max_u_size not in (1, 2):
+        raise ValueError(f"max_u_size must be 1 or 2, got {max_u_size}")
+    if join_variables_only:
+        counts: dict[str, int] = {}
+        for atom in query.atoms:
+            for v in atom.variable_set:
+                counts[v] = counts.get(v, 0) + 1
+        join_vars = frozenset(v for v, c in counts.items() if c >= 2)
+    else:
+        join_vars = query.variable_set
+    stats: list[ConcreteStatistic] = []
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        stats.extend(
+            _atom_statistics(
+                atom,
+                relation,
+                ps,
+                join_vars,
+                include_cardinalities,
+                include_distinct_counts,
+            )
+        )
+        if max_u_size >= 2 and len(set(atom.variables)) >= 3:
+            distinct_vars = tuple(dict.fromkeys(atom.variables))
+            mapping: dict[str, str] = {}
+            for position, var in enumerate(atom.variables):
+                mapping.setdefault(var, relation.attributes[position])
+            stats.extend(
+                _pair_conditionals(
+                    atom, relation, mapping, distinct_vars, join_vars, ps
+                )
+            )
+    return StatisticsSet(stats).deduplicated()

@@ -1,0 +1,93 @@
+"""Schema constraints as ℓp statistics: FDs and keys.
+
+The paper situates itself against the functional-dependency bounds of
+[11, 16]: an FD U → V is exactly the assertion ‖deg(V|U)‖_∞ ≤ 1, i.e. a
+*free* ℓ∞ statistic with log-bound 0, and a key of R is the FD from the
+key columns to the rest.  Feeding these into the bound LP recovers the
+FD-aware bounds as a special case of the ℓp framework — these helpers
+build the corresponding :class:`ConcreteStatistic` objects so schema
+knowledge can join measured statistics in one LP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..query.query import Atom, ConjunctiveQuery
+from .conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+
+__all__ = ["fd_statistic", "key_statistic", "key_statistics_for_query"]
+
+import math
+
+
+def fd_statistic(
+    guard: Atom, determinant: Iterable[str], dependent: Iterable[str]
+) -> ConcreteStatistic:
+    """The statistic for the functional dependency U → V on an atom.
+
+    Encodes ‖deg_guard(V|U)‖_∞ ≤ 1 (log2-bound 0).  The FD is an
+    *assertion*: feeding it to the LP is only sound if the data really
+    satisfies it (checkable via ``stat.holds_on(db)``).
+    """
+    u = frozenset(determinant)
+    v = frozenset(dependent)
+    if not v:
+        raise ValueError("the dependent set V must be non-empty")
+    if u & v:
+        # X → X-overlap is trivially true; keep only the informative part
+        v = v - u
+        if not v:
+            raise ValueError("V ⊆ U makes the FD vacuous")
+    return ConcreteStatistic(
+        AbstractStatistic(Conditional(v, u), math.inf), 0.0, guard
+    )
+
+
+def key_statistic(guard: Atom, key: Iterable[str]) -> ConcreteStatistic:
+    """The FD statistic for ``key`` being a key of the guard atom.
+
+    A key K of R(Z) is the FD K → Z − K.
+    """
+    key_set = frozenset(key)
+    rest = guard.variable_set - key_set
+    if not key_set <= guard.variable_set:
+        raise ValueError(
+            f"key {sorted(key_set)} not within {guard} variables"
+        )
+    if not rest:
+        raise ValueError("the key covers the whole atom; nothing to assert")
+    return fd_statistic(guard, key_set, rest)
+
+
+def key_statistics_for_query(
+    query: ConjunctiveQuery,
+    keys: dict[str, Sequence[str]],
+) -> StatisticsSet:
+    """Key statistics for every atom whose relation has a declared key.
+
+    ``keys`` maps relation names to *column positions by variable name at
+    that position* — i.e. the key is given as attribute positions via the
+    relation's first atom occurrence.  For the common case of binary and
+    ternary atoms it is simplest to give the key as the set of variable
+    positions: here we accept column indices.
+
+    Example: ``{"title": [0]}`` declares the first column of ``title`` a
+    key; for every atom title(m, k) this yields ‖deg(k|m)‖_∞ ≤ 1.
+    """
+    stats = []
+    for atom in query.atoms:
+        positions = keys.get(atom.relation)
+        if positions is None:
+            continue
+        key_vars = {atom.variables[i] for i in positions}
+        rest = atom.variable_set - key_vars
+        if not rest:
+            continue
+        stats.append(fd_statistic(atom, key_vars, rest))
+    return StatisticsSet(stats)

@@ -1,0 +1,61 @@
+"""Degree sequences deg_R(V | U) of relations (Sec. 1.2).
+
+For a relation S and attribute sets U, V, ``deg_S(V | U)`` is the sorted
+(non-increasing) sequence of the degrees of the U-nodes in the bipartite
+graph between Π_U(S) and Π_V(S) with edges Π_{U∪V}(S): the i-th entry is
+the number of distinct V-values co-occurring with the i-th most frequent
+U-value.
+
+Edge cases follow the paper's definitions:
+
+* ``U = ∅``: a single node on the U-side; the sequence is the single value
+  |Π_V(S)|, so its ℓ1 (and ℓ∞) norm is the distinct count of V — this is
+  how cardinality assertions are special cases of ℓp statistics.
+* ``V = ∅``: every U-value has degree 1 (the empty tuple); the sequence is
+  (1, …, 1) of length |Π_U(S)|, whose ℓ1 norm is the distinct count of U.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..relational import Relation
+
+__all__ = ["degree_sequence", "max_degree", "average_degree"]
+
+
+def degree_sequence(
+    relation: Relation,
+    v_attrs: Sequence[str],
+    u_attrs: Sequence[str] = (),
+) -> np.ndarray:
+    """The degree sequence deg_relation(V | U), non-increasing.
+
+    ``v_attrs``/``u_attrs`` name columns of ``relation``; overlap is allowed
+    (shared attributes contribute degree structure exactly as the
+    projection-based definition prescribes).
+    """
+    sizes = relation.group_sizes(tuple(u_attrs), tuple(v_attrs))
+    if not sizes:
+        return np.zeros(0, dtype=np.int64)
+    out = np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+    out[::-1].sort()
+    return out
+
+
+def max_degree(
+    relation: Relation, v_attrs: Sequence[str], u_attrs: Sequence[str] = ()
+) -> int:
+    """||deg(V|U)||_∞ as an integer (0 for an empty relation)."""
+    seq = degree_sequence(relation, v_attrs, u_attrs)
+    return int(seq[0]) if seq.size else 0
+
+
+def average_degree(
+    relation: Relation, v_attrs: Sequence[str], u_attrs: Sequence[str] = ()
+) -> float:
+    """avg(deg(V|U)) — what the textbook estimator (15)/(16) uses."""
+    seq = degree_sequence(relation, v_attrs, u_attrs)
+    return float(seq.mean()) if seq.size else 0.0

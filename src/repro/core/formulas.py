@@ -1,0 +1,172 @@
+"""Closed-form ℓp bounds from the paper, in log2 space.
+
+Every formula here is an instance of Theorem 1.1 for a specific Shannon
+inequality spelled out in the paper.  The LP of :mod:`repro.core.lp_bound`
+subsumes them all (it optimises over *every* valid inequality); they are
+kept explicit because the paper derives them by hand, we test the LP
+against them, and they make the examples readable.
+
+All inputs are log2 values (log2 of norms / cardinalities); all outputs are
+log2 of the bound.  Linear-space convenience wrappers would overflow for
+the norm magnitudes real data produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "agm_triangle",
+    "triangle_l2",
+    "triangle_l3",
+    "join_agm",
+    "join_panda",
+    "join_l2",
+    "join_lp_lq_distinct",
+    "join_lp_lq",
+    "chain_bound",
+    "cycle_bound",
+    "cycle_agm",
+    "cycle_panda",
+    "loomis_whitney_l2",
+    "dsb_gap_certificate",
+]
+
+
+def agm_triangle(log2_r: float, log2_s: float, log2_t: float) -> float:
+    """AGM bound (2) for the triangle: |Q| ≤ (|R||S||T|)^{1/2}."""
+    return (log2_r + log2_s + log2_t) / 2.0
+
+
+def triangle_l2(l2_r: float, l2_s: float, l2_t: float) -> float:
+    """Bound (4): |Q| ≤ (‖deg_R(Y|X)‖₂² · ‖deg_S(Z|Y)‖₂² · ‖deg_T(X|Z)‖₂²)^{1/3}.
+
+    Arguments are log2 of the three ℓ2-norms.
+    """
+    return 2.0 * (l2_r + l2_s + l2_t) / 3.0
+
+
+def triangle_l3(l3_r: float, l3_s: float, log2_t: float) -> float:
+    """Bound (5): |Q| ≤ (‖deg_R(Y|X)‖₃³ · ‖deg_S(Y|Z)‖₃³ · |T|⁵)^{1/6}."""
+    return (3.0 * l3_r + 3.0 * l3_s + 5.0 * log2_t) / 6.0
+
+
+def join_agm(log2_r: float, log2_s: float) -> float:
+    """AGM bound for the single join R(X,Y) ⋈ S(Y,Z): |R|·|S|."""
+    return log2_r + log2_s
+
+
+def join_panda(
+    log2_r: float, log2_s: float, linf_r: float, linf_s: float
+) -> float:
+    """PANDA bound (17): min(|S|·‖deg_R(X|Y)‖_∞, |R|·‖deg_S(Z|Y)‖_∞).
+
+    ``linf_r`` is log2 ‖deg_R(X|Y)‖_∞ and ``linf_s`` log2 ‖deg_S(Z|Y)‖_∞.
+    """
+    return min(log2_s + linf_r, log2_r + linf_s)
+
+
+def join_l2(l2_r: float, l2_s: float) -> float:
+    """Cauchy–Schwartz bound (18): ‖deg_R(X|Y)‖₂ · ‖deg_S(Z|Y)‖₂."""
+    return l2_r + l2_s
+
+
+def join_lp_lq_distinct(
+    lp_r: float, lq_s: float, log2_m: float, p: float, q: float
+) -> float:
+    """Bound (48): ‖deg_R(X|Y)‖_p · ‖deg_S(Z|Y)‖_q · M^{1−1/p−1/q}.
+
+    M = min(|Π_Y(R)|, |Π_Y(S)|); requires 1/p + 1/q ≤ 1.
+    """
+    inv_p = 0.0 if p == math.inf else 1.0 / p
+    inv_q = 0.0 if q == math.inf else 1.0 / q
+    if inv_p + inv_q > 1.0 + 1e-12:
+        raise ValueError(f"need 1/p + 1/q ≤ 1, got p={p}, q={q}")
+    return lp_r + lq_s + (1.0 - inv_p - inv_q) * log2_m
+
+
+def join_lp_lq(
+    lp_r: float, lq_s: float, log2_s: float, p: float, q: float
+) -> float:
+    """Bound (19): ‖deg_R(X|Y)‖_p · ‖deg_S(Z|Y)‖_q^{q/(p(q−1))} · |S|^{1−q/(p(q−1))}.
+
+    Requires 1/p + 1/q ≤ 1 (so the |S| exponent is ≥ 0).
+    """
+    inv_p = 0.0 if p == math.inf else 1.0 / p
+    inv_q = 0.0 if q == math.inf else 1.0 / q
+    if inv_p + inv_q > 1.0 + 1e-12:
+        raise ValueError(f"need 1/p + 1/q ≤ 1, got p={p}, q={q}")
+    if q == math.inf:
+        exponent = 0.0 if p == math.inf else 1.0 / p  # limit q→∞ of q/(p(q−1))
+    else:
+        exponent = q / (p * (q - 1.0)) if p != math.inf else 0.0
+    return lp_r + exponent * lq_s + (1.0 - exponent) * log2_s
+
+
+def chain_bound(
+    log2_r1: float,
+    l2_r2: float,
+    middle_lp_minus_1: Sequence[float],
+    last_lp: float,
+    p: float,
+) -> float:
+    """The path-query bound of Example 2.2, for a chain of length n−1 ≥ 2.
+
+    |Q|^p ≤ |R₁|^{p−2} · ‖deg_{R₂}(X₁|X₂)‖₂² ·
+            Π_{i=2..n−2} ‖deg_{R_i}(X_{i+1}|X_i)‖_{p−1}^{p−1} ·
+            ‖deg_{R_{n−1}}(X_n|X_{n−1})‖_p^p,   valid for p ≥ 2.
+
+    ``middle_lp_minus_1`` are the log2 ℓ_{p−1}-norms of the middle atoms
+    R_i, i = 2..n−2 (empty for the shortest chain, n = 3).
+    """
+    if p < 2:
+        raise ValueError(f"the chain bound needs p ≥ 2, got {p}")
+    total = (
+        (p - 2.0) * log2_r1
+        + 2.0 * l2_r2
+        + (p - 1.0) * sum(middle_lp_minus_1)
+        + p * last_lp
+    )
+    return total / p
+
+
+def cycle_bound(lq_norms: Sequence[float], q: float) -> float:
+    """Bound (21) for the (p+1)-cycle: |Q| ≤ Π_i ‖deg_{R_i}(X_{i+1}|X_i)‖_q^{q/(q+1)}.
+
+    ``lq_norms`` are the log2 ℓq-norms, one per cycle edge.
+    """
+    if q == math.inf:
+        raise ValueError("use cycle_panda for the ℓ∞ form")
+    return (q / (q + 1.0)) * sum(lq_norms)
+
+
+def cycle_agm(log2_sizes: Sequence[float]) -> float:
+    """AGM bound (52, left) for the cycle: |Q| ≤ Π|R_i|^{1/2}."""
+    return sum(log2_sizes) / 2.0
+
+
+def cycle_panda(log2_size: float, linf: float, cycle_length: int) -> float:
+    """PANDA bound (52, right) for the uniform cycle: |R| · ‖deg‖_∞^{p−1}.
+
+    ``cycle_length`` is the number of atoms (p+1 in the paper's notation).
+    """
+    return log2_size + (cycle_length - 2.0) * linf
+
+
+def loomis_whitney_l2(
+    l2_a: float, log2_b: float, l2_c: float, log2_d: float
+) -> float:
+    """Appendix C.6 bound for the 4-variable Loomis–Whitney query:
+
+    |Q|⁴ ≤ ‖deg_A(YZ|X)‖₂² · |B| · ‖deg_C(WX|Z)‖₂² · |D|.
+    """
+    return (2.0 * l2_a + log2_b + 2.0 * l2_c + log2_d) / 4.0
+
+
+def dsb_gap_certificate(l3_r: float, log2_s: float, l2_s: float) -> float:
+    """Bound (50), the certificate of the Appendix C.3 gap instance:
+
+    |Q| ≤ ‖deg_R(X|Y)‖₃ · |S|^{1/3} · ‖deg_S(Z|Y)‖₂^{2/3}.
+    """
+    return l3_r + log2_s / 3.0 + 2.0 * l2_s / 3.0

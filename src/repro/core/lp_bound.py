@@ -1,0 +1,376 @@
+"""The ℓp-norm bound as a linear program (Sec. 5, Theorem 5.2).
+
+Theorem 5.2 identifies the best upper bound derivable from a statistics set
+(Σ, B) with the optimum of
+
+    Log-L-Bound_K(Σ, b)  =  max h(X)
+                            s.t.  h ∈ K,
+                                  (1/p_i)·h(U_i) + h(V_i|U_i) ≤ b_i  ∀τ_i∈Σ
+
+over a cone K of set functions.  This module implements the LP for three
+cones:
+
+``polymatroid``
+    K = Γ_n, cut out by the elemental Shannon inequalities.  The exact
+    polymatroid bound of the paper; 2^n LP variables.
+``normal``
+    K = N_n, parameterised by step-function coefficients α_W ≥ 0.  By
+    Theorem 6.1 this equals the polymatroid bound whenever all statistics
+    are *simple* (|U| ≤ 1) — and it is dramatically smaller: one LP column
+    per distinct intersection pattern of W with the constraint sets.
+``modular``
+    K = M_n (singleton steps only).  This is the cone implicitly used by
+    Jayaraman et al. [14]; Appendix B shows it is *not* sound in general —
+    exposed here to reproduce that analysis, not for estimation.
+
+Results carry dual weights: the witness inequality (8) behind the bound
+and therefore "which norms were used" (the paper's Fig. 1 Norms column).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from ..entropy.shannon import elemental_inequalities
+from ..entropy.vectors import EntropyVector
+from ..query.query import ConjunctiveQuery
+from .conditionals import ConcreteStatistic, StatisticsSet
+
+__all__ = ["BoundResult", "lp_bound", "CONES"]
+
+CONES = ("auto", "polymatroid", "normal", "modular")
+
+_POLYMATROID_MAX_VARS = 14
+_NORMAL_MAX_VARS = 22
+
+
+@dataclass
+class BoundResult:
+    """Outcome of the bound LP.
+
+    ``log2_bound`` is the log2 of the upper bound on |Q(D)| (``inf`` when
+    the statistics do not bound the output, e.g. a join column without any
+    statistic).  ``dual_weights[i]`` is the weight w_i of statistic i in
+    the witness inequality (8); Σ w_i·b_i = log2_bound at optimality.
+    """
+
+    log2_bound: float
+    cone: str
+    status: str
+    variables: tuple[str, ...]
+    statistics: StatisticsSet
+    dual_weights: np.ndarray | None = None
+    h_values: np.ndarray | None = None
+    normal_coefficients: dict[int, float] | None = field(default=None, repr=False)
+
+    @property
+    def bound(self) -> float:
+        """The bound in linear space (may overflow to inf)."""
+        if self.log2_bound == math.inf:
+            return math.inf
+        if self.log2_bound == -math.inf:
+            return 0.0
+        try:
+            return 2.0 ** self.log2_bound
+        except OverflowError:  # pragma: no cover
+            return math.inf
+
+    def used_statistics(
+        self, tol: float = 1e-7
+    ) -> list[tuple[ConcreteStatistic, float]]:
+        """Statistics with non-zero dual weight, i.e. those the bound uses."""
+        if self.dual_weights is None:
+            return []
+        return [
+            (stat, float(w))
+            for stat, w in zip(self.statistics, self.dual_weights)
+            if w > tol
+        ]
+
+    def norms_used(self, tol: float = 1e-7) -> list[float]:
+        """Sorted distinct p values carrying dual weight (Fig. 1 column)."""
+        return sorted({stat.p for stat, _ in self.used_statistics(tol)})
+
+    def witness_inequality(self, tol: float = 1e-7) -> str:
+        """Human-readable rendering of the witness inequality (8)."""
+        terms = []
+        for stat, w in self.used_statistics(tol):
+            cond = stat.conditional
+            u = ",".join(sorted(cond.u)) or "∅"
+            v = ",".join(sorted(cond.v))
+            inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
+            terms.append(f"{w:.4g}·({inv_p:.4g}·h({u}) + h({v}|{u}))")
+        lhs = " + ".join(terms) if terms else "0"
+        return f"{lhs} ≥ h({','.join(self.variables)})"
+
+    def entropy_vector(self) -> EntropyVector:
+        """The optimal h* as an :class:`EntropyVector` (primal witness)."""
+        if self.h_values is None:
+            raise ValueError(f"no primal solution (status: {self.status})")
+        return EntropyVector(self.variables, self.h_values)
+
+
+def _variable_order(
+    query: ConjunctiveQuery | None,
+    statistics: StatisticsSet,
+    variables: Sequence[str] | None,
+) -> tuple[str, ...]:
+    if variables is not None:
+        return tuple(variables)
+    if query is not None:
+        return query.variables
+    seen: dict[str, None] = {}
+    for stat in statistics:
+        for v in sorted(stat.conditional.variables):
+            seen.setdefault(v, None)
+    return tuple(seen)
+
+
+def _stat_row(
+    stat: ConcreteStatistic, index: dict[str, int], size: int
+) -> tuple[np.ndarray, float]:
+    """Dense coefficient row of the statistic constraint over subset masks.
+
+    (1/p)h(U) + h(UV) − h(U) ≤ b  ⟺  h(UV) + (1/p − 1)·h(U) ≤ b.
+    """
+    row = np.zeros(size)
+    cond = stat.conditional
+    mask_u = 0
+    for u in cond.u:
+        mask_u |= 1 << index[u]
+    mask_uv = mask_u
+    for v in cond.v:
+        mask_uv |= 1 << index[v]
+    inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
+    row[mask_uv] += 1.0
+    if mask_u:
+        row[mask_u] += inv_p - 1.0
+    return row, stat.log2_bound
+
+
+def _solve(
+    c: np.ndarray,
+    a_ub,
+    b_ub: np.ndarray,
+    bounds,
+) -> "linprog.OptimizeResult":
+    return linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+
+
+def _polymatroid_lp(
+    variables: tuple[str, ...],
+    statistics: StatisticsSet,
+    extra_inequalities: Sequence[np.ndarray],
+) -> BoundResult:
+    n = len(variables)
+    if n > _POLYMATROID_MAX_VARS:
+        raise ValueError(
+            f"polymatroid cone limited to {_POLYMATROID_MAX_VARS} variables "
+            f"(got {n}); use cone='normal' for simple statistics"
+        )
+    index = {v: i for i, v in enumerate(variables)}
+    size = 1 << n
+    stat_rows = []
+    b_stats = []
+    for stat in statistics:
+        row, b = _stat_row(stat, index, size)
+        stat_rows.append(row)
+        b_stats.append(b)
+    shannon = elemental_inequalities(n)  # A·h ≥ 0
+    blocks = []
+    if stat_rows:
+        blocks.append(sparse.csr_matrix(np.array(stat_rows)))
+    blocks.append(-shannon)
+    for vec in extra_inequalities:
+        vec = np.asarray(vec, float)
+        if vec.shape != (size,):
+            raise ValueError(
+                f"extra inequality must have length {size}, got {vec.shape}"
+            )
+        blocks.append(sparse.csr_matrix(-vec.reshape(1, -1)))
+    a_ub = sparse.vstack(blocks, format="csr")
+    b_ub = np.concatenate(
+        [
+            np.asarray(b_stats, float),
+            np.zeros(shannon.shape[0] + len(extra_inequalities)),
+        ]
+    )
+    c = np.zeros(size)
+    c[size - 1] = -1.0
+    bounds = [(0.0, 0.0)] + [(0.0, None)] * (size - 1)
+    res = _solve(c, a_ub, b_ub, bounds)
+    num_stats = len(stat_rows)
+    if res.status == 3:
+        return BoundResult(math.inf, "polymatroid", "unbounded", variables, statistics)
+    if res.status == 2:
+        return BoundResult(-math.inf, "polymatroid", "infeasible", variables, statistics)
+    if res.status != 0:
+        return BoundResult(
+            math.nan, "polymatroid", f"error: {res.message}", variables, statistics
+        )
+    duals = -np.asarray(res.ineqlin.marginals[:num_stats], float)
+    return BoundResult(
+        float(-res.fun),
+        "polymatroid",
+        "optimal",
+        variables,
+        statistics,
+        dual_weights=duals,
+        h_values=np.asarray(res.x, float),
+    )
+
+
+def _step_cone_lp(
+    variables: tuple[str, ...],
+    statistics: StatisticsSet,
+    cone: str,
+) -> BoundResult:
+    """LP over positive combinations of step functions.
+
+    ``cone='normal'`` uses all non-empty W (deduplicated by intersection
+    pattern with the constraint sets); ``cone='modular'`` only singletons.
+    """
+    n = len(variables)
+    index = {v: i for i, v in enumerate(variables)}
+    stat_masks: list[tuple[int, int, float, float]] = []
+    for stat in statistics:
+        cond = stat.conditional
+        mask_u = 0
+        for u in cond.u:
+            mask_u |= 1 << index[u]
+        mask_uv = mask_u
+        for v in cond.v:
+            mask_uv |= 1 << index[v]
+        inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
+        stat_masks.append((mask_u, mask_uv, inv_p, stat.log2_bound))
+
+    if cone == "modular":
+        candidates = np.array([1 << i for i in range(n)], dtype=np.int64)
+    else:
+        if n > _NORMAL_MAX_VARS:
+            raise ValueError(
+                f"normal cone limited to {_NORMAL_MAX_VARS} variables (got {n})"
+            )
+        all_w = np.arange(1, 1 << n, dtype=np.int64)
+        relevant = sorted(
+            {m for mu, muv, _, _ in stat_masks for m in (mu, muv) if m}
+        )
+        if relevant:
+            patterns = np.stack(
+                [(all_w & g) != 0 for g in relevant], axis=1
+            )
+            _, keep = np.unique(patterns, axis=0, return_index=True)
+            candidates = all_w[np.sort(keep)]
+        else:
+            candidates = all_w[:1]
+
+    m = len(candidates)
+    rows = []
+    b_ub = []
+    for mask_u, mask_uv, inv_p, b in stat_masks:
+        hit_uv = ((candidates & mask_uv) != 0).astype(float)
+        hit_u = (
+            ((candidates & mask_u) != 0).astype(float) if mask_u else 0.0
+        )
+        rows.append(hit_uv + (inv_p - 1.0) * hit_u)
+        b_ub.append(b)
+    if rows:
+        a_ub = np.array(rows)
+        b_arr = np.asarray(b_ub, float)
+    else:
+        a_ub = None
+        b_arr = None
+    # every non-empty W intersects X, so h(X) = Σ_W α_W
+    c = -np.ones(m)
+    res = _solve(c, a_ub, b_arr, [(0.0, None)] * m)
+    if res.status == 3:
+        return BoundResult(math.inf, cone, "unbounded", variables, statistics)
+    if res.status == 2:
+        return BoundResult(-math.inf, cone, "infeasible", variables, statistics)
+    if res.status != 0:
+        return BoundResult(
+            math.nan, cone, f"error: {res.message}", variables, statistics
+        )
+    duals = (
+        -np.asarray(res.ineqlin.marginals, float) if rows else np.zeros(0)
+    )
+    alpha = {
+        int(w): float(a)
+        for w, a in zip(candidates, res.x)
+        if a > 1e-12
+    }
+    size = 1 << n
+    h_values = np.zeros(size)
+    for w_mask, a in alpha.items():
+        masks = np.arange(size)
+        h_values[(masks & w_mask) != 0] += a
+    return BoundResult(
+        float(-res.fun),
+        cone,
+        "optimal",
+        variables,
+        statistics,
+        dual_weights=duals,
+        h_values=h_values,
+        normal_coefficients=alpha,
+    )
+
+
+def lp_bound(
+    statistics: StatisticsSet | Iterable[ConcreteStatistic],
+    query: ConjunctiveQuery | None = None,
+    cone: str = "auto",
+    variables: Sequence[str] | None = None,
+    extra_inequalities: Sequence[np.ndarray] = (),
+) -> BoundResult:
+    """Compute the ℓp bound of Theorem 5.2 for a statistics set.
+
+    Parameters
+    ----------
+    statistics:
+        Concrete statistics (Σ, B); bounds are log2 values.
+    query:
+        The query, used to fix the variable order (and X = all variables).
+        May be omitted when ``variables`` is given or when the statistics'
+        conditionals already mention every variable.
+    cone:
+        One of :data:`CONES`.  ``auto`` picks ``normal`` when every
+        statistic is simple (exact by Theorem 6.1) and ``polymatroid``
+        otherwise.
+    extra_inequalities:
+        Additional valid entropic inequalities c·h ≥ 0 (subset-indexed
+        vectors) to tighten the cone — e.g. Zhang–Yeung instantiations for
+        the Appendix D.2 analysis.  Only supported by the polymatroid cone.
+
+    Returns
+    -------
+    A :class:`BoundResult`; ``result.log2_bound`` bounds log2 |Q(D)| for
+    every database D satisfying (Σ, B) (Theorem 1.1 + Theorem 5.2).
+    """
+    if not isinstance(statistics, StatisticsSet):
+        statistics = StatisticsSet(statistics)
+    order = _variable_order(query, statistics, variables)
+    if not order:
+        raise ValueError("no variables: provide a query or variables=")
+    if cone not in CONES:
+        raise ValueError(f"unknown cone {cone!r}; expected one of {CONES}")
+    if cone == "auto":
+        if extra_inequalities:
+            cone = "polymatroid"
+        elif statistics.is_simple and len(order) <= _NORMAL_MAX_VARS:
+            cone = "normal"
+        else:
+            cone = "polymatroid"
+    if cone in ("normal", "modular"):
+        if extra_inequalities:
+            raise ValueError(
+                "extra_inequalities require the polymatroid cone"
+            )
+        return _step_cone_lp(order, statistics, cone)
+    return _polymatroid_lp(order, statistics, list(extra_inequalities))

@@ -1,0 +1,128 @@
+"""ℓp-norms of degree sequences, in log space, plus Lemma A.1.
+
+Degree sequences on realistic data are long and skewed, and the paper's
+experiments use norms up to ℓ30: ``d**30`` overflows float64 for degrees as
+small as ~10^10.  All norms are therefore computed and carried in **log2**
+space via ``scipy.special.logsumexp``; linear-space values are derived and
+may legitimately be ``inf``.
+
+Lemma A.1 (Appendix A) — the first m ℓp-norms of a length-m sequence
+determine the sequence — is implemented by :func:`sequence_from_norms`
+through Newton's identities and polynomial root extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+__all__ = [
+    "log2_norm",
+    "lp_norm",
+    "norms_of_sequence",
+    "sequence_from_norms",
+    "power_sums_from_norms",
+]
+
+_LN2 = math.log(2.0)
+
+
+def _as_positive_array(degrees: Iterable[float]) -> np.ndarray:
+    d = np.asarray(list(degrees) if not isinstance(degrees, np.ndarray) else degrees,
+                   dtype=float)
+    if d.ndim != 1:
+        raise ValueError("degree sequence must be one-dimensional")
+    if np.any(d <= 0):
+        raise ValueError("degrees must be strictly positive")
+    return d
+
+
+def log2_norm(degrees: Iterable[float], p: float) -> float:
+    """log2 of the ℓp-norm of a degree sequence.
+
+    ``p`` may be any value in (0, ∞]; ``p = math.inf`` gives the max degree
+    (log2 of it).  An empty sequence has norm 0, whose log2 is −inf.
+    """
+    d = _as_positive_array(degrees)
+    if d.size == 0:
+        return -math.inf
+    if p == math.inf:
+        return float(np.log2(d.max()))
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    log_d = np.log(d)
+    return float(logsumexp(p * log_d) / (p * _LN2))
+
+
+def lp_norm(degrees: Iterable[float], p: float) -> float:
+    """The ℓp-norm in linear space (may overflow to ``inf`` for large p)."""
+    l2 = log2_norm(degrees, p)
+    if l2 == -math.inf:
+        return 0.0
+    try:
+        return 2.0 ** l2
+    except OverflowError:  # pragma: no cover - 2.0**float raises only at huge l2
+        return math.inf
+
+
+def norms_of_sequence(
+    degrees: Sequence[float], ps: Iterable[float]
+) -> dict[float, float]:
+    """ℓp-norms (linear space) for each p in ``ps``."""
+    return {p: lp_norm(degrees, p) for p in ps}
+
+
+def power_sums_from_norms(norms: Sequence[float]) -> list[float]:
+    """Convert norms (ℓ1, ℓ2, …, ℓm) to power sums (Σd, Σd², …, Σd^m)."""
+    return [float(norm) ** (k + 1) for k, norm in enumerate(norms)]
+
+
+def sequence_from_norms(norms: Sequence[float], tol: float = 1e-6) -> np.ndarray:
+    """Recover the degree sequence from its first m ℓp-norms (Lemma A.1).
+
+    Parameters
+    ----------
+    norms:
+        ``norms[k]`` is the ℓ_{k+1}-norm of a non-increasing sequence of m
+        strictly positive degrees, for k = 0..m−1.
+    tol:
+        Tolerance for discarding imaginary parts of the recovered roots.
+
+    Returns
+    -------
+    The degrees sorted in non-increasing order.
+
+    Notes
+    -----
+    Newton's identities convert power sums p_k = ℓ_k^k into elementary
+    symmetric polynomials e_k:  k·e_k = Σ_{i=1..k} (−1)^{i−1} e_{k−i} p_i.
+    Vieta then gives the monic polynomial with the degrees as roots.  The
+    inversion is numerically delicate for long, spread-out sequences — the
+    paper stores a handful of norms precisely because the full inverse map
+    is impractical; tests exercise short sequences.
+    """
+    m = len(norms)
+    if m == 0:
+        return np.zeros(0)
+    p = power_sums_from_norms(norms)
+    e = [1.0] + [0.0] * m
+    for k in range(1, m + 1):
+        acc = 0.0
+        for i in range(1, k + 1):
+            acc += (-1) ** (i - 1) * e[k - i] * p[i - 1]
+        e[k] = acc / k
+    # polynomial λ^m − e1·λ^{m−1} + e2·λ^{m−2} − … + (−1)^m e_m
+    coefficients = [(-1) ** k * e[k] for k in range(m + 1)]
+    roots = np.roots(coefficients)
+    if np.any(np.abs(roots.imag) > tol * (1 + np.abs(roots.real))):
+        raise ValueError(
+            "norms are inconsistent with a real degree sequence "
+            f"(roots {roots})"
+        )
+    degrees = np.sort(roots.real)[::-1]
+    if np.any(degrees < -tol):
+        raise ValueError(f"recovered negative degrees: {degrees}")
+    return np.clip(degrees, 0.0, None)

@@ -1,0 +1,27 @@
+"""Synthetic datasets: SNAP-like graphs, IMDB/JOB substrate, gadgets."""
+
+from .generators import (
+    alpha_beta_relation,
+    matching_relation,
+    power_law_graph,
+    zipf_values,
+)
+from .imdb import IMDB_RELATIONS, imdb_database
+from .job_queries import JOB_QUERIES, JOB_QUERY_IDS, job_query
+from .snap import SNAP_SPECS, SnapSpec, load_snap_graph, snap_database
+
+__all__ = [
+    "power_law_graph",
+    "alpha_beta_relation",
+    "matching_relation",
+    "zipf_values",
+    "SNAP_SPECS",
+    "SnapSpec",
+    "load_snap_graph",
+    "snap_database",
+    "imdb_database",
+    "IMDB_RELATIONS",
+    "JOB_QUERIES",
+    "JOB_QUERY_IDS",
+    "job_query",
+]

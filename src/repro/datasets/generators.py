@@ -1,0 +1,116 @@
+"""Synthetic data generators: skewed graphs and the paper's gadgets.
+
+Everything is seeded and deterministic.  Three families:
+
+* :func:`power_law_graph` — heavy-tailed random graphs standing in for the
+  SNAP datasets (see DESIGN.md for the substitution argument);
+* :func:`alpha_beta_relation` — the (α,β)-relations of Definition C.1
+  (M^α values of degree M^β, the rest of degree 1, on both sides), the
+  paper's gadget for every asymptotic separation;
+* :func:`zipf_values` — Zipf-distributed foreign keys for the IMDB-like
+  benchmark substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..relational import Relation
+
+__all__ = [
+    "zipf_values",
+    "power_law_graph",
+    "alpha_beta_relation",
+    "matching_relation",
+]
+
+
+def zipf_values(
+    count: int, domain: int, exponent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` draws from {0..domain−1} with P(rank r) ∝ (r+1)^−exponent.
+
+    ``exponent = 0`` is uniform; larger exponents concentrate mass on a few
+    hot values — the skew that separates ℓp bounds from ℓ1/ℓ∞ bounds.
+    """
+    if domain < 1:
+        raise ValueError("domain must be ≥ 1")
+    weights = (np.arange(1, domain + 1, dtype=float)) ** (-float(exponent))
+    weights /= weights.sum()
+    return rng.choice(domain, size=count, p=weights)
+
+
+def power_law_graph(
+    num_nodes: int,
+    num_edges: int,
+    exponent: float,
+    seed: int,
+    symmetric: bool = True,
+) -> Relation:
+    """A heavy-tailed random graph as an edge relation R(x, y).
+
+    Endpoints are sampled independently from a Zipf(``exponent``) law over
+    the nodes; self-loops and duplicate edges are discarded, and with
+    ``symmetric=True`` every edge appears in both orientations (the
+    treatment the paper applies to the SNAP graphs).  Generation oversamples
+    until the requested number of (undirected) edges is reached or the
+    space saturates.
+    """
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    target = num_edges
+    attempts = 0
+    while len(edges) < target and attempts < 40:
+        need = max(1024, 2 * (target - len(edges)))
+        xs = zipf_values(need, num_nodes, exponent, rng)
+        ys = zipf_values(need, num_nodes, exponent, rng)
+        for x, y in zip(xs.tolist(), ys.tolist()):
+            if x == y:
+                continue
+            edge = (x, y) if x < y else (y, x)
+            edges.add(edge)
+            if len(edges) >= target:
+                break
+        attempts += 1
+    rows: list[tuple[int, int]] = []
+    for x, y in edges:
+        rows.append((x, y))
+        if symmetric:
+            rows.append((y, x))
+    return Relation(("x", "y"), rows, name="edges")
+
+
+def alpha_beta_relation(alpha: float, beta: float, m: int) -> Relation:
+    """An (α,β)-relation (Def. C.1) with parameter M = ``m``.
+
+    Both deg(Y|X) and deg(X|Y) are the (α,β)-sequence: ⌈M^α⌉ values of
+    degree ⌈M^β⌉ and M − ⌈M^α⌉ values of degree 1.  Constructed as the
+    disjoint union of footnote 5 of the paper, with tagged value spaces to
+    keep the three parts disjoint:
+
+    * a block {(i, (i,j))} giving X-side heavy hitters,
+    * a block {((i,j), i)} giving Y-side heavy hitters,
+    * a diagonal {(i, i)} of degree-1 values padding both sides to M values.
+
+    Requires α + β ≤ 1 (else the padding count would be negative).
+    """
+    if alpha < 0 or beta < 0 or alpha + beta > 1 + 1e-12:
+        raise ValueError(f"need α, β ≥ 0 and α+β ≤ 1; got {alpha}, {beta}")
+    heavy = max(1, round(m ** alpha)) if alpha > 0 else 1
+    degree = max(1, round(m ** beta)) if beta > 0 else 1
+    rows: list[tuple] = []
+    for i in range(heavy):
+        for j in range(degree):
+            rows.append((("hx", i), ("hxv", i, j)))
+            rows.append((("hyv", i, j), ("hy", i)))
+    padding = m - heavy - heavy * degree
+    for i in range(max(0, padding)):
+        rows.append((("d", i), ("d", i)))
+    return Relation(("x", "y"), rows, name=f"ab({alpha:g},{beta:g})")
+
+
+def matching_relation(n: int, attributes: Sequence[str] = ("x", "y")) -> Relation:
+    """The diagonal {(i, i) : i < n} — Example B.1's worst case for [14]."""
+    return Relation(tuple(attributes), ((i, i) for i in range(n)), name="diag")

@@ -1,0 +1,151 @@
+"""33 acyclic join queries mirroring the JOB benchmark's join templates.
+
+The Join Order Benchmark's 113 queries are variations, with different
+selection predicates, of 33 *join templates* over 4–14 relations; the
+paper evaluates exactly those templates (Fig. 1).  Selections are out of
+scope (as in the paper), so each template here is a full conjunctive query
+over the synthetic IMDB schema of :mod:`repro.datasets.imdb`, with
+relation counts per query matching Figure 1's "# Relations" column.
+
+All queries are α-acyclic (verified in tests) and every statistic the
+experiments collect over them is simple, so bounds use the fast exact
+normal-cone LP.
+"""
+
+from __future__ import annotations
+
+from ..query.parser import parse_query
+from ..query.query import ConjunctiveQuery
+
+__all__ = ["JOB_QUERIES", "job_query", "JOB_QUERY_IDS"]
+
+_RAW: dict[int, str] = {
+    # ---- small star queries (4–6 relations) -----------------------------
+    1: "Q(m,k,c,ct,co) :- title(m,k), kind_type(k), movie_companies(m,c,ct),"
+       " company_name(c,co), company_type(ct)",
+    2: "Q(m,k,w,i1) :- title(m,k), kind_type(k), movie_keyword(m,w),"
+       " keyword(w), movie_info(m,i1)",
+    3: "Q(m,k,i1,w) :- title(m,k), movie_info(m,i1), info_type(i1),"
+       " movie_keyword(m,w)",
+    4: "Q(m,k,i1,i2) :- title(m,k), movie_info(m,i1), info_type(i1),"
+       " movie_info_idx(m,i2), info_type(i2)",
+    5: "Q(m,k,c,ct,i1) :- title(m,k), movie_companies(m,c,ct),"
+       " company_type(ct), movie_info(m,i1), info_type(i1)",
+    6: "Q(m,k,w,p,r) :- title(m,k), movie_keyword(m,w), keyword(w),"
+       " cast_info(m,p,r), name(p,g)",
+    # ---- medium queries (7–9 relations) ---------------------------------
+    7: "Q(m,k,p,r,g,a,pi,i1) :- title(m,k), cast_info(m,p,r), role_type(r),"
+       " name(p,g), aka_name(p,a), person_info(p,pi), movie_info(m,i1),"
+       " info_type(i1)",
+    8: "Q(m,k,c,ct,p,r,g) :- title(m,k), movie_companies(m,c,ct),"
+       " company_name(c,co), cast_info(m,p,r), role_type(r), name(p,g),"
+       " aka_name(p,a)",
+    9: "Q(m,k,c,ct,co,p,r,g) :- title(m,k), movie_companies(m,c,ct),"
+       " company_name(c,co), company_type(ct), cast_info(m,p,r),"
+       " role_type(r), name(p,g), aka_name(p,a)",
+    10: "Q(m,k,c,ct,co,p,r) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " cast_info(m,p,r), role_type(r)",
+    11: "Q(m,k,c,ct,co,w,lt,m2) :- title(m,k), movie_companies(m,c,ct),"
+        " company_name(c,co), company_type(ct), movie_keyword(m,w),"
+        " keyword(w), movie_link(m,m2,lt), link_type(lt)",
+    12: "Q(m,k,c,ct,i1,i2) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_info(m,i1), info_type(i1), movie_info_idx(m,i2)",
+    13: "Q(m,k,c,ct,co,i1,i2) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_info(m,i1), info_type(i1), movie_info_idx(m,i2),"
+        " info_type(i2)",
+    14: "Q(m,k,i1,i2,w) :- title(m,k), kind_type(k), movie_info(m,i1),"
+        " info_type(i1), movie_info_idx(m,i2), info_type(i2),"
+        " movie_keyword(m,w), keyword(w)",
+    15: "Q(m,k,c,ct,i1,w,at) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_info(m,i1), info_type(i1), movie_keyword(m,w),"
+        " aka_title(m,at)",
+    16: "Q(m,k,c,ct,w,p,r,a) :- title(m,k), movie_companies(m,c,ct),"
+        " company_name(c,co), company_type(ct), movie_keyword(m,w),"
+        " keyword(w), cast_info(m,p,r), aka_name(p,a)",
+    17: "Q(m,k,c,w,p,r) :- title(m,k), movie_companies(m,c,ct),"
+        " company_name(c,co), movie_keyword(m,w), keyword(w),"
+        " cast_info(m,p,r), name(p,g)",
+    18: "Q(m,k,i1,i2,p,r,g) :- title(m,k), movie_info(m,i1), info_type(i1),"
+        " movie_info_idx(m,i2), info_type(i2), cast_info(m,p,r), name(p,g)",
+    # ---- large queries (10–14 relations) ---------------------------------
+    19: "Q(m,k,c,ct,co,i1,p,r,g,a) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_info(m,i1), info_type(i1), cast_info(m,p,r), name(p,g),"
+        " aka_name(p,a)",
+    20: "Q(m,k,cc,w,p,r,g,i1) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_keyword(m,w),"
+        " keyword(w), cast_info(m,p,r), role_type(r), name(p,g),"
+        " movie_info(m,i1)",
+    21: "Q(m,k,c,ct,co,lt,m2,w) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_link(m,m2,lt), link_type(lt), movie_keyword(m,w),"
+        " keyword(w)",
+    22: "Q(m,k,c,ct,co,i1,i2,w,p,r) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_info(m,i1), info_type(i1), movie_info_idx(m,i2),"
+        " movie_keyword(m,w), keyword(w), cast_info(m,p,r)",
+    23: "Q(m,k,cc,c,ct,co,i1,w,at) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_companies(m,c,ct),"
+        " company_name(c,co), company_type(ct), movie_info(m,i1),"
+        " info_type(i1), movie_keyword(m,w), keyword(w)",
+    24: "Q(m,k,c,ct,co,i1,i2,w,p,r,g,a) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_info(m,i1), info_type(i1), movie_info_idx(m,i2),"
+        " movie_keyword(m,w), keyword(w), cast_info(m,p,r), name(p,g)",
+    25: "Q(m,k,i1,i2,w,p,r,g) :- title(m,k), movie_info(m,i1),"
+        " info_type(i1), movie_info_idx(m,i2), info_type(i2),"
+        " movie_keyword(m,w), keyword(w), cast_info(m,p,r), name(p,g)",
+    26: "Q(m,k,cc,w,p,r,g,c,ct,i1) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_keyword(m,w),"
+        " keyword(w), cast_info(m,p,r), name(p,g), movie_companies(m,c,ct),"
+        " company_name(c,co), movie_info(m,i1), info_type(i1)",
+    27: "Q(m,k,c,ct,co,lt,m2,w,cc) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_link(m,m2,lt), link_type(lt), movie_keyword(m,w),"
+        " keyword(w), complete_cast(m,cc), comp_cast_type(cc),"
+        " aka_title(m,at)",
+    28: "Q(m,k,cc,c,ct,co,i1,w,p,r,g,a,pi) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_companies(m,c,ct),"
+        " company_name(c,co), company_type(ct), movie_info(m,i1),"
+        " info_type(i1), movie_keyword(m,w), keyword(w), cast_info(m,p,r),"
+        " name(p,g), aka_name(p,a)",
+    29: "Q(m,k,cc,w,p,r,g,a,pi,i1,at) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_keyword(m,w),"
+        " keyword(w), cast_info(m,p,r), role_type(r), name(p,g),"
+        " aka_name(p,a), person_info(p,pi), movie_info(m,i1)",
+    30: "Q(m,k,cc,i1,i2,w,p,r,g,a) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_info(m,i1),"
+        " info_type(i1), movie_info_idx(m,i2), movie_keyword(m,w),"
+        " keyword(w), cast_info(m,p,r), name(p,g), aka_name(p,a)",
+    31: "Q(m,k,cc,i1,i2,w,p,r,g,a,pi) :- title(m,k), kind_type(k),"
+        " complete_cast(m,cc), comp_cast_type(cc), movie_info(m,i1),"
+        " info_type(i1), movie_info_idx(m,i2), movie_keyword(m,w),"
+        " keyword(w), cast_info(m,p,r), name(p,g), aka_name(p,a),"
+        " person_info(p,pi)",
+    32: "Q(m,k,lt,m2,w) :- title(m,k), kind_type(k), movie_link(m,m2,lt),"
+        " link_type(lt), movie_keyword(m,w), keyword(w)",
+    33: "Q(m,k,c,ct,co,lt,m2,k2,i2,p,r,g) :- title(m,k), kind_type(k),"
+        " movie_companies(m,c,ct), company_name(c,co), company_type(ct),"
+        " movie_link(m,m2,lt), link_type(lt), title(m2,k2),"
+        " movie_info_idx(m2,i2), info_type(i2), cast_info(m,p,r),"
+        " role_type(r), name(p,g), aka_name(p,a)",
+}
+
+JOB_QUERY_IDS: tuple[int, ...] = tuple(sorted(_RAW))
+
+JOB_QUERIES: dict[int, ConjunctiveQuery] = {
+    qid: parse_query(text.replace("Q(", f"job{qid:02d}(", 1))
+    for qid, text in _RAW.items()
+}
+
+
+def job_query(qid: int) -> ConjunctiveQuery:
+    """The JOB-like join template with the given 1-based id."""
+    try:
+        return JOB_QUERIES[qid]
+    except KeyError:
+        raise KeyError(f"JOB query ids are 1..33, got {qid}") from None

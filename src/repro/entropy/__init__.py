@@ -1,0 +1,51 @@
+"""Information-theoretic machinery: entropy vectors, cones, inequalities."""
+
+from .groups import (
+    coordinate_subgroup_relation,
+    coset_relation,
+    kernel_subgroup,
+)
+from .measures import (
+    conditional_mutual_information,
+    modularize,
+    mutual_information,
+)
+from .polymatroids import is_normal, normal_coefficients, normal_from_masks
+from .shannon import count_elemental, elemental_inequalities, shannon_violations
+from .vectors import (
+    EntropyVector,
+    entropy_of_relation,
+    is_totally_uniform,
+    modular,
+    normal,
+    step_function,
+)
+from .zhang_yeung import (
+    FIGURE2_VARIABLES,
+    figure2_polymatroid,
+    zhang_yeung_coefficients,
+)
+
+__all__ = [
+    "EntropyVector",
+    "step_function",
+    "modular",
+    "normal",
+    "entropy_of_relation",
+    "is_totally_uniform",
+    "elemental_inequalities",
+    "count_elemental",
+    "shannon_violations",
+    "normal_coefficients",
+    "is_normal",
+    "normal_from_masks",
+    "zhang_yeung_coefficients",
+    "figure2_polymatroid",
+    "FIGURE2_VARIABLES",
+    "mutual_information",
+    "conditional_mutual_information",
+    "modularize",
+    "coset_relation",
+    "coordinate_subgroup_relation",
+    "kernel_subgroup",
+]

@@ -1,0 +1,97 @@
+"""Group-realizable entropic vectors (Appendix D.2 / Chan–Yeung [4]).
+
+Given a finite group G and subgroups G_1, …, G_n, the relation
+
+    R = { (aG_1, …, aG_n) : a ∈ G }                      (58)
+
+is totally uniform and its entropic vector satisfies
+h(U) = log |G| / |∩_{i∈U} G_i|.  Chan and Yeung proved that scaled limits
+of such vectors fill the entropic cone — the engine behind the asymptotic
+tightness of the almost-entropic bound (Theorem D.3(1)).
+
+We realise the abelian case G = (Z_m)^k with subgroups given as subsets of
+coordinates (coordinate subgroups) or, more generally, as kernels of
+integer matrices mod m.  Coordinate subgroups already generate all normal
+polymatroids (they produce exactly the normal relations of Sec. 6); matrix
+kernels reach genuinely non-normal entropic vectors such as the XOR
+parity vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..relational import Relation
+
+__all__ = ["coset_relation", "coordinate_subgroup_relation", "kernel_subgroup"]
+
+
+def kernel_subgroup(matrix: Sequence[Sequence[int]], m: int, k: int) -> frozenset:
+    """The subgroup {x ∈ (Z_m)^k : A·x ≡ 0 (mod m)} as a frozenset of tuples."""
+    a = np.asarray(matrix, dtype=int)
+    if a.ndim != 2 or a.shape[1] != k:
+        raise ValueError(f"matrix must have {k} columns, got {a.shape}")
+    members = []
+    for x in itertools.product(range(m), repeat=k):
+        if np.all(a.dot(np.asarray(x)) % m == 0):
+            members.append(tuple(x))
+    return frozenset(members)
+
+
+def coset_relation(
+    variables: Sequence[str],
+    subgroups: Sequence[frozenset],
+    m: int,
+    k: int,
+) -> Relation:
+    """The relation (58) for G = (Z_m)^k and the given subgroups.
+
+    Each attribute value is the coset a·G_i, represented canonically as a
+    frozenset of tuples.  |R| = |G| / |∩_i G_i| and, for every subset U of
+    attributes, h_R(U) = log2 (|G| / |∩_{i∈U} G_i|).
+    """
+    variables = tuple(variables)
+    if len(subgroups) != len(variables):
+        raise ValueError("one subgroup per variable required")
+    group = list(itertools.product(range(m), repeat=k))
+    rows = []
+    for a in group:
+        row = []
+        for sub in subgroups:
+            coset = frozenset(
+                tuple((ai + gi) % m for ai, gi in zip(a, g)) for g in sub
+            )
+            row.append(coset)
+        rows.append(tuple(row))
+    return Relation(variables, rows, name="coset")
+
+
+def coordinate_subgroup_relation(
+    variables: Sequence[str],
+    coordinate_sets: Sequence[Sequence[int]],
+    m: int,
+    k: int,
+) -> Relation:
+    """Coset relation whose subgroups fix the given coordinates to 0.
+
+    Subgroup i is {x : x_j = 0 for j ∈ coordinate_sets[i]}; the resulting
+    entropic vector is Σ_j (log2 m) · h_{W_j} with W_j = {variables whose
+    subgroup constrains coordinate j} — a normal polymatroid, realising
+    Sec. 6's normal relations through the group lens.
+    """
+    subgroups = []
+    for coords in coordinate_sets:
+        coords = set(coords)
+        if any(c < 0 or c >= k for c in coords):
+            raise ValueError(f"coordinates must be in [0, {k}), got {coords}")
+        members = frozenset(
+            x
+            for x in itertools.product(range(m), repeat=k)
+            if all(x[c] == 0 for c in coords)
+        )
+        subgroups.append(members)
+    return coset_relation(variables, subgroups, m, k)

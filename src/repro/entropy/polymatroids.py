@@ -1,0 +1,79 @@
+"""Normal polymatroids: step-function decompositions and membership tests.
+
+The paper's tightness story (Sec. 6) runs through *normal* polymatroids —
+positive linear combinations of step functions h_W.  For a candidate vector
+h the decomposition, when it exists, is unique and can be recovered in
+closed form: with A = h(X) and
+
+    g(S) := h(X) − h(X − S)  =  Σ_{∅ ≠ W ⊆ S} α_W,
+
+Möbius inversion over the subset lattice yields the coefficients α_W.
+h is a normal polymatroid iff all recovered α_W are ≥ 0 and the
+reconstruction matches h.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .vectors import EntropyVector, normal
+
+__all__ = [
+    "normal_coefficients",
+    "is_normal",
+    "normal_from_masks",
+]
+
+
+def normal_coefficients(
+    vector: EntropyVector, tol: float = 1e-9
+) -> dict[frozenset[str], float] | None:
+    """Recover α_W with h = Σ α_W h_W, or ``None`` if h is not normal.
+
+    Returns a dict over non-empty subsets W (zero coefficients omitted).
+    """
+    n = len(vector.variables)
+    size = 1 << n
+    full = size - 1
+    values = vector.values
+    # g[S] = h(X) - h(X \ S) = sum over non-empty W ⊆ S of α_W
+    g = np.array([values[full] - values[full & ~s] for s in range(size)])
+    # Möbius inversion on the subset lattice: α = Σ_{T⊆S} (−1)^{|S−T|} g(T).
+    # Computed in-place per bit (the standard subset-sum inversion).
+    alpha = g.copy()
+    for i in range(n):
+        bit = 1 << i
+        for s in range(size):
+            if s & bit:
+                alpha[s] -= alpha[s & ~bit]
+    coefficients: dict[frozenset[str], float] = {}
+    for s in range(1, size):
+        a = alpha[s]
+        if a < -tol:
+            return None
+        if a > tol:
+            coefficients[vector.subset_of_mask(s)] = float(a)
+    candidate = normal(vector.variables, coefficients)
+    if not np.allclose(candidate.values, values, atol=max(tol, 1e-8)):
+        return None
+    return coefficients
+
+
+def is_normal(vector: EntropyVector, tol: float = 1e-9) -> bool:
+    """Whether the vector lies in the normal-polymatroid cone N_n."""
+    return normal_coefficients(vector, tol=tol) is not None
+
+
+def normal_from_masks(
+    variables: tuple[str, ...], mask_coefficients: Mapping[int, float]
+) -> EntropyVector:
+    """Build a normal polymatroid from {bitmask: α} coefficients."""
+    coefficients = {}
+    for mask, alpha in mask_coefficients.items():
+        subset = frozenset(
+            v for i, v in enumerate(variables) if mask >> i & 1
+        )
+        coefficients[subset] = alpha
+    return normal(variables, coefficients)

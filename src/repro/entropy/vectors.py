@@ -1,0 +1,247 @@
+"""Entropy vectors over the subset lattice of a variable set.
+
+An entropy vector h assigns a real h(S) ≥ 0 to every subset S of the
+variables X, with h(∅)=0.  We store it densely as a numpy array indexed by
+bitmask (bit i set ⟺ variable i in S), which makes Shannon-inequality
+checks and LP assembly fast.
+
+Constructors cover the special families from Sec. 3 of the paper:
+
+* :func:`step_function` — h_W(U) = 1 iff W ∩ U ≠ ∅  (Eq. 27);
+* :func:`modular` — positive combinations of singleton steps;
+* :func:`normal` — positive combinations of arbitrary steps (N_n);
+* :func:`entropy_of_relation` — the empirical entropic vector of a relation
+  under the uniform distribution on its tuples (used for tightness proofs
+  and for Theorem 1.1's proof-side checks).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..relational import Relation
+
+__all__ = [
+    "EntropyVector",
+    "step_function",
+    "modular",
+    "normal",
+    "entropy_of_relation",
+    "is_totally_uniform",
+]
+
+
+class EntropyVector:
+    """A vector in R^{2^X} with named variables, h(∅) = 0 enforced.
+
+    Values are in **bits** (log base 2) throughout the library.
+    """
+
+    __slots__ = ("variables", "_index", "values")
+
+    def __init__(self, variables: Sequence[str], values: np.ndarray) -> None:
+        self.variables = tuple(variables)
+        self._index = {v: i for i, v in enumerate(self.variables)}
+        values = np.asarray(values, dtype=float)
+        if values.shape != (1 << len(self.variables),):
+            raise ValueError(
+                f"need {1 << len(self.variables)} entries, got {values.shape}"
+            )
+        if abs(values[0]) > 1e-12:
+            raise ValueError(f"h(∅) must be 0, got {values[0]}")
+        self.values = values
+
+    # ------------------------------------------------------------------
+    def mask(self, subset: Iterable[str]) -> int:
+        """Bitmask of a set of variable names."""
+        m = 0
+        for v in subset:
+            m |= 1 << self._index[v]
+        return m
+
+    def subset_of_mask(self, mask: int) -> frozenset[str]:
+        return frozenset(
+            v for i, v in enumerate(self.variables) if mask >> i & 1
+        )
+
+    def h(self, subset: Iterable[str]) -> float:
+        """h(S) for a set of variable names."""
+        return float(self.values[self.mask(subset)])
+
+    def conditional(self, vs: Iterable[str], us: Iterable[str]) -> float:
+        """h(V | U) = h(U ∪ V) − h(U)."""
+        mu = self.mask(us)
+        mv = self.mask(vs)
+        return float(self.values[mu | mv] - self.values[mu])
+
+    @property
+    def full(self) -> float:
+        """h(X), the entropy of all variables."""
+        return float(self.values[-1])
+
+    # ------------------------------------------------------------------
+    def is_polymatroid(self, tol: float = 1e-9) -> bool:
+        """Check the basic Shannon inequalities (24)–(26).
+
+        Uses the *elemental* inequalities, which generate all of them:
+        monotonicity h(X) ≥ h(X−i) and submodularity
+        h(S+i) + h(S+j) ≥ h(S+i+j) + h(S).
+        """
+        n = len(self.variables)
+        vals = self.values
+        total = (1 << n) - 1
+        for i in range(n):
+            if vals[total] < vals[total & ~(1 << i)] - tol:
+                return False
+        for i in range(n):
+            for j in range(i + 1, n):
+                bi, bj = 1 << i, 1 << j
+                rest = [k for k in range(n) if k != i and k != j]
+                for sub in range(1 << len(rest)):
+                    s = 0
+                    for t, k in enumerate(rest):
+                        if sub >> t & 1:
+                            s |= 1 << k
+                    if vals[s | bi] + vals[s | bj] < vals[s | bi | bj] + vals[s] - tol:
+                        return False
+        return True
+
+    def is_modular(self, tol: float = 1e-9) -> bool:
+        """h is modular iff h(S) = Σ_{i∈S} h({i}) for all S."""
+        n = len(self.variables)
+        singles = [self.values[1 << i] for i in range(n)]
+        for mask in range(1 << n):
+            expected = sum(singles[i] for i in range(n) if mask >> i & 1)
+            if abs(self.values[mask] - expected) > tol:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "EntropyVector") -> "EntropyVector":
+        if self.variables != other.variables:
+            raise ValueError("variable sets differ")
+        return EntropyVector(self.variables, self.values + other.values)
+
+    def scale(self, factor: float) -> "EntropyVector":
+        """factor · h (factor ≥ 0 keeps polymatroids polymatroid)."""
+        return EntropyVector(self.variables, self.values * factor)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EntropyVector):
+            return NotImplemented
+        return self.variables == other.variables and np.allclose(
+            self.values, other.values
+        )
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"h({''.join(sorted(self.subset_of_mask(m))) or '∅'})="
+            f"{self.values[m]:.3g}"
+            for m in range(len(self.values))
+        )
+        return f"<EntropyVector {entries}>"
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def step_function(variables: Sequence[str], w: Iterable[str]) -> EntropyVector:
+    """The step function h_W (Eq. 27): h_W(U) = 1 iff W ∩ U ≠ ∅."""
+    variables = tuple(variables)
+    index = {v: i for i, v in enumerate(variables)}
+    wmask = 0
+    for v in w:
+        wmask |= 1 << index[v]
+    if wmask == 0:
+        raise ValueError("W must be non-empty")
+    size = 1 << len(variables)
+    values = np.fromiter(
+        (1.0 if mask & wmask else 0.0 for mask in range(size)),
+        dtype=float,
+        count=size,
+    )
+    return EntropyVector(variables, values)
+
+
+def modular(
+    variables: Sequence[str], singleton_values: Mapping[str, float]
+) -> EntropyVector:
+    """The modular function with h({v}) = singleton_values[v] (default 0)."""
+    variables = tuple(variables)
+    size = 1 << len(variables)
+    singles = np.array(
+        [float(singleton_values.get(v, 0.0)) for v in variables]
+    )
+    values = np.zeros(size)
+    for mask in range(size):
+        values[mask] = sum(singles[i] for i in range(len(variables)) if mask >> i & 1)
+    return EntropyVector(variables, values)
+
+
+def normal(
+    variables: Sequence[str],
+    coefficients: Mapping[frozenset[str], float],
+) -> EntropyVector:
+    """The normal polymatroid Σ_W α_W · h_W (Eq. 37); α_W ≥ 0 required."""
+    variables = tuple(variables)
+    size = 1 << len(variables)
+    values = np.zeros(size)
+    index = {v: i for i, v in enumerate(variables)}
+    for w, alpha in coefficients.items():
+        if alpha < 0:
+            raise ValueError(f"negative coefficient for {set(w)}: {alpha}")
+        if not w:
+            continue
+        wmask = 0
+        for v in w:
+            wmask |= 1 << index[v]
+        for mask in range(size):
+            if mask & wmask:
+                values[mask] += alpha
+    return EntropyVector(variables, values)
+
+
+def entropy_of_relation(
+    relation: Relation, variables: Sequence[str] | None = None
+) -> EntropyVector:
+    """Empirical entropic vector of the uniform distribution on a relation.
+
+    For each subset S of attributes, h(S) is the Shannon entropy (bits) of
+    the marginal of the uniform-on-tuples distribution projected onto S.
+    For a *totally uniform* relation this equals log2 |Π_S(R)|.
+    """
+    attrs = tuple(variables) if variables is not None else relation.attributes
+    pos = relation.positions(attrs)
+    n = len(attrs)
+    total = len(relation)
+    if total == 0:
+        raise ValueError("cannot take the entropy of an empty relation")
+    size = 1 << n
+    values = np.zeros(size)
+    for mask in range(1, size):
+        cols = [pos[i] for i in range(n) if mask >> i & 1]
+        counts = Counter(tuple(row[c] for c in cols) for row in relation)
+        h = 0.0
+        for count in counts.values():
+            prob = count / total
+            h -= prob * math.log2(prob)
+        values[mask] = h
+    return EntropyVector(attrs, values)
+
+
+def is_totally_uniform(relation: Relation, tol: float = 1e-9) -> bool:
+    """Whether every marginal of the relation is uniform (Sec. 6).
+
+    Equivalent test: h_R(S) = log2 |Π_S(R)| for every subset S.
+    """
+    h = entropy_of_relation(relation)
+    n = len(relation.attributes)
+    for mask in range(1, 1 << n):
+        subset = [relation.attributes[i] for i in range(n) if mask >> i & 1]
+        if abs(h.values[mask] - math.log2(relation.distinct_count(subset))) > tol:
+            return False
+    return True

@@ -1,0 +1,114 @@
+"""The Zhang–Yeung non-Shannon inequality and the Fig. 2 polymatroid.
+
+Appendix D.2 of the paper uses Zhang and Yeung's inequality [28]
+
+    I(X;Y) ≤ 2·I(X;Y|A) + I(X;Y|B) + I(A;B) + I(A;Y|X) + I(A;X|Y)
+
+to prove that the polymatroid bound is not tight in general (Theorem
+D.3(2)): a 4-variable α-acyclic query admits statistics under which the
+polymatroid LP reports 4k bits while the (almost-)entropic bound is at
+most 35k/9 bits — an exponent gap of 35/36.
+
+This module provides the inequality as a subset-indexed coefficient vector
+(convention ``c · h ≥ 0``, valid for all entropic h but *not* for all
+polymatroids), and the witness polymatroid of Figure 2 that violates it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .vectors import EntropyVector
+
+__all__ = [
+    "zhang_yeung_coefficients",
+    "figure2_polymatroid",
+    "FIGURE2_VARIABLES",
+]
+
+FIGURE2_VARIABLES: tuple[str, ...] = ("A", "B", "X", "Y")
+
+
+def zhang_yeung_coefficients(
+    variables: Sequence[str],
+    a: str = "A",
+    b: str = "B",
+    x: str = "X",
+    y: str = "Y",
+) -> np.ndarray:
+    """Coefficient vector c of the ZY inequality with c·h ≥ 0 for entropic h.
+
+    Expanded in plain entropies the inequality reads (paper, proof of
+    Prop. D.5)::
+
+        0 ≤ 3h(XY) − 2h(X) − 2h(Y) − 4h(AXY) − h(BXY)
+            + 3h(AX) + 3h(AY) + h(BX) + h(BY) − h(AB) − h(A)
+
+    ``variables`` fixes the bitmask indexing; ``a``, ``b``, ``x``, ``y``
+    choose which four variables play the ZY roles (they must be distinct
+    members of ``variables``).
+    """
+    variables = tuple(variables)
+    index = {v: i for i, v in enumerate(variables)}
+    for v in (a, b, x, y):
+        if v not in index:
+            raise KeyError(f"{v!r} not among variables {variables}")
+    if len({a, b, x, y}) != 4:
+        raise ValueError("ZY roles must be four distinct variables")
+
+    def mask(*names: str) -> int:
+        m = 0
+        for name in names:
+            m |= 1 << index[name]
+        return m
+
+    c = np.zeros(1 << len(variables))
+    c[mask(x, y)] += 3
+    c[mask(x)] -= 2
+    c[mask(y)] -= 2
+    c[mask(a, x, y)] -= 4
+    c[mask(b, x, y)] -= 1
+    c[mask(a, x)] += 3
+    c[mask(a, y)] += 3
+    c[mask(b, x)] += 1
+    c[mask(b, y)] += 1
+    c[mask(a, b)] -= 1
+    c[mask(a)] -= 1
+    return c
+
+
+def figure2_polymatroid() -> EntropyVector:
+    """The polymatroid of Figure 2 on variables (A, B, X, Y).
+
+    h(∅)=0; singletons have h=2; the pairs AX, AY, XY, BX, BY have h=3;
+    AB and every superset of size ≥ 3 has h=4.  It is a polymatroid that
+    satisfies the log-statistics (Σ, b) of Theorem D.3(2) and *violates*
+    the Zhang–Yeung inequality — the engine of the 35/36 gap.
+    """
+    variables = FIGURE2_VARIABLES
+    index = {v: i for i, v in enumerate(variables)}
+
+    def mask(*names: str) -> int:
+        m = 0
+        for name in names:
+            m |= 1 << index[name]
+        return m
+
+    values = np.zeros(16)
+    explicit = {
+        mask("A"): 2.0,
+        mask("B"): 2.0,
+        mask("X"): 2.0,
+        mask("Y"): 2.0,
+        mask("A", "X"): 3.0,
+        mask("A", "Y"): 3.0,
+        mask("X", "Y"): 3.0,
+        mask("B", "X"): 3.0,
+        mask("B", "Y"): 3.0,
+        mask("A", "B"): 4.0,
+    }
+    for m in range(1, 16):
+        values[m] = explicit.get(m, 4.0)
+    return EntropyVector(variables, values)

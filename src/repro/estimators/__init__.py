@@ -1,0 +1,23 @@
+"""Baseline estimators and bounds: AGM, PANDA, DSB, textbook."""
+
+from .agm import agm_bound, agm_bound_lp, agm_statistics
+from .dsb import dsb_chain, dsb_pair, dsb_single_join
+from .jayaraman import JayaramanResult, jayaraman_bound, jayaraman_statistics
+from .panda import panda_bound, panda_statistics
+from .textbook import textbook_estimate, textbook_estimate_log2
+
+__all__ = [
+    "agm_bound",
+    "agm_bound_lp",
+    "agm_statistics",
+    "panda_bound",
+    "panda_statistics",
+    "dsb_pair",
+    "dsb_single_join",
+    "dsb_chain",
+    "jayaraman_bound",
+    "jayaraman_statistics",
+    "JayaramanResult",
+    "textbook_estimate",
+    "textbook_estimate_log2",
+]

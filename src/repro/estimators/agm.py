@@ -1,0 +1,62 @@
+"""The AGM bound [1] — the paper's {1}-bound baseline.
+
+The AGM bound is |Q| ≤ Π_j |R_j|^{x*_j} where x* is a minimum fractional
+edge cover weighted by log|R_j|.  Two equivalent implementations are
+provided and cross-checked in tests:
+
+* :func:`agm_bound` — directly via the fractional edge cover LP;
+* restricting the main LP of :mod:`repro.core.lp_bound` to the ℓ1
+  cardinality statistics, which the paper shows is the same thing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..query.hypergraph import Hypergraph
+from ..query.query import ConjunctiveQuery
+from ..relational import Database
+from ..core.conditionals import StatisticsSet, collect_statistics
+from ..core.lp_bound import BoundResult, lp_bound
+
+__all__ = ["agm_bound", "agm_bound_lp", "agm_statistics"]
+
+
+def agm_statistics(query: ConjunctiveQuery, db: Database) -> StatisticsSet:
+    """Just the cardinality (ℓ1) statistics of the query's atoms."""
+    return collect_statistics(
+        query,
+        db,
+        ps=(),
+        include_cardinalities=True,
+        include_distinct_counts=False,
+    )
+
+
+def agm_bound(query: ConjunctiveQuery, db: Database) -> float:
+    """log2 of the AGM bound, via the fractional edge cover LP.
+
+    Uses |Π_{vars(atom)}(R)| per atom (equals |R| for the usual case where
+    the atom binds every column of a distinct-variable relation).
+    """
+    weights = []
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        distinct_vars = tuple(dict.fromkeys(atom.variables))
+        attrs = []
+        seen = set()
+        for position, var in enumerate(atom.variables):
+            if var not in seen:
+                seen.add(var)
+                attrs.append(relation.attributes[position])
+        count = relation.distinct_count(attrs)
+        if count == 0:
+            return -math.inf  # empty relation ⇒ empty output
+        weights.append(math.log2(count))
+    value, _ = Hypergraph.of_query(query).fractional_edge_cover(weights)
+    return float(value)
+
+
+def agm_bound_lp(query: ConjunctiveQuery, db: Database) -> BoundResult:
+    """The AGM bound through the general ℓp machinery ({1}-statistics)."""
+    return lp_bound(agm_statistics(query, db), query=query)

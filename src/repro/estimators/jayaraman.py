@@ -1,0 +1,109 @@
+"""The Jayaraman–Ropell–Rudra bound [14] — the Appendix B comparator.
+
+For binary-relation queries and a single p, [14] solves the linear
+program (42):
+
+    min Σ_{(V,U)∈E} x_{V,U} · log L_{V,U}
+    s.t. ∀U:  Σ_{(V,U)∈E} x_{V,U} + (1/p)·Σ_{(U,W)∈E} x_{U,W} ≥ 1,  x ≥ 0
+
+with L_{V,U} = ‖deg(U|V)‖_p, and claims runtime (hence an output bound)
+Π L^{x*}.  Appendix B shows this is exactly our bound restricted to the
+**modular** cone — sound only when the query graph's girth exceeds p
+(Theorem B.2), and wrong otherwise (Example B.1: the 2-cycle with p = 2).
+
+This module exposes the bound with the girth guard, the unguarded raw LP
+value for the counterexample analysis, and the Theorem B.2 validity test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+from ..core.degree import degree_sequence
+from ..core.lp_bound import BoundResult, lp_bound
+from ..core.norms import log2_norm
+from ..query.hypergraph import girth
+from ..query.query import ConjunctiveQuery
+from ..relational import Database
+
+__all__ = ["JayaramanResult", "jayaraman_bound", "jayaraman_statistics"]
+
+
+@dataclass
+class JayaramanResult:
+    """The [14] bound plus its applicability analysis."""
+
+    p: float
+    girth: float
+    applicable: bool  # girth ≥ p + 1 (Theorem B.2's condition)
+    log2_bound_modular: float  # the raw LP (42) value
+    log2_bound_polymatroid: float  # the sound value on the same statistics
+
+    @property
+    def sound(self) -> bool:
+        """Whether the raw LP value is a valid upper bound here.
+
+        By Theorem B.2 the modular value equals the polymatroid value when
+        the girth condition holds; equality may also happen by luck.
+        """
+        return (
+            self.log2_bound_modular >= self.log2_bound_polymatroid - 1e-6
+        )
+
+
+def jayaraman_statistics(
+    query: ConjunctiveQuery, db: Database, p: float
+) -> StatisticsSet:
+    """One ℓp statistic ‖deg(second | first)‖_p per binary atom."""
+    stats = []
+    for atom in query.atoms:
+        if atom.arity != 2:
+            raise ValueError(
+                f"[14] handles binary relations only; {atom} has arity "
+                f"{atom.arity}"
+            )
+        relation = db[atom.relation]
+        u_var, v_var = atom.variables
+        seq = degree_sequence(
+            relation, [relation.attributes[1]], [relation.attributes[0]]
+        )
+        stats.append(
+            ConcreteStatistic(
+                AbstractStatistic(
+                    Conditional(frozenset({v_var}), frozenset({u_var})), p
+                ),
+                log2_norm(seq, p),
+                atom,
+            )
+        )
+    return StatisticsSet(stats)
+
+
+def jayaraman_bound(
+    query: ConjunctiveQuery, db: Database, p: float
+) -> JayaramanResult:
+    """Compute the [14] bound and check Theorem B.2's girth condition.
+
+    Solves the LP (42) (equivalently: our bound over the modular cone) and
+    the sound polymatroid bound on the same single-p statistics.  When the
+    girth condition ``girth ≥ p + 1`` holds, the two coincide (Theorem
+    B.2); the Example B.1 counterexample makes them differ.
+    """
+    stats = jayaraman_statistics(query, db, p)
+    modular = lp_bound(stats, query=query, cone="modular")
+    poly = lp_bound(stats, query=query, cone="polymatroid")
+    g = girth(query)
+    return JayaramanResult(
+        p=p,
+        girth=g,
+        applicable=g >= p + 1,
+        log2_bound_modular=modular.log2_bound,
+        log2_bound_polymatroid=poly.log2_bound,
+    )

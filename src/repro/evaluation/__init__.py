@@ -1,0 +1,31 @@
+"""Query evaluation: hash joins, WCOJ, and the Theorem 2.6 algorithm."""
+
+from .acyclic_count import acyclic_count, join_tree
+from .joins import evaluate_left_deep, hash_join
+from .lp_join import PartitionedRun, evaluate_with_partitioning
+from .panda_algorithm import evaluate_part, theorem26_log2_budget
+from .partitioning import (
+    partition_by_degree,
+    partition_for_statistic,
+    strongly_satisfies,
+)
+from .wcoj import JoinRun, count_query, generic_join
+from .yannakakis import semijoin_reduce
+
+__all__ = [
+    "acyclic_count",
+    "join_tree",
+    "hash_join",
+    "evaluate_left_deep",
+    "generic_join",
+    "count_query",
+    "JoinRun",
+    "strongly_satisfies",
+    "partition_by_degree",
+    "partition_for_statistic",
+    "evaluate_part",
+    "theorem26_log2_budget",
+    "evaluate_with_partitioning",
+    "PartitionedRun",
+    "semijoin_reduce",
+]

@@ -1,0 +1,113 @@
+"""Binary hash joins and join-tree evaluation for acyclic queries.
+
+These are the classical substrate algorithms: a hash join for two
+relations and a left-deep evaluation of a full conjunctive query.  The
+worst-case-optimal algorithm lives in :mod:`repro.evaluation.wcoj`; the
+hash-join path is kept both as an independent oracle for true
+cardinalities in tests and because acyclic JOB-style queries evaluate
+faster through it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from ..query.query import Atom, ConjunctiveQuery
+from ..relational import Database, Relation
+
+__all__ = ["hash_join", "evaluate_left_deep"]
+
+
+def _atom_rows(atom: Atom, db: Database) -> tuple[tuple[str, ...], list[tuple]]:
+    """Rows of an atom as tuples over its *distinct* variables.
+
+    Repeated variables in the atom become equality selections.
+    """
+    relation = db[atom.relation]
+    distinct_vars = tuple(dict.fromkeys(atom.variables))
+    positions: dict[str, int] = {}
+    for position, var in enumerate(atom.variables):
+        positions.setdefault(var, position)
+    repeated: dict[str, list[int]] = {}
+    for position, var in enumerate(atom.variables):
+        repeated.setdefault(var, []).append(position)
+    checks = [ps for ps in repeated.values() if len(ps) > 1]
+    rows = []
+    for row in relation:
+        if checks and not all(len({row[i] for i in ps}) == 1 for ps in checks):
+            continue
+        rows.append(tuple(row[positions[v]] for v in distinct_vars))
+    return distinct_vars, rows
+
+
+def hash_join(
+    left_vars: Sequence[str],
+    left_rows: list[tuple],
+    right_vars: Sequence[str],
+    right_rows: list[tuple],
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """Natural join of two variable-labelled row sets.
+
+    Returns (output variables, output rows); output variables are the left
+    variables followed by the right-only variables.
+    """
+    left_vars = tuple(left_vars)
+    right_vars = tuple(right_vars)
+    shared = [v for v in right_vars if v in set(left_vars)]
+    right_only = [v for v in right_vars if v not in set(left_vars)]
+    out_vars = left_vars + tuple(right_only)
+    left_key_pos = [left_vars.index(v) for v in shared]
+    right_key_pos = [right_vars.index(v) for v in shared]
+    right_rest_pos = [right_vars.index(v) for v in right_only]
+    index: dict[tuple, list[tuple]] = defaultdict(list)
+    for row in right_rows:
+        index[tuple(row[i] for i in right_key_pos)].append(
+            tuple(row[i] for i in right_rest_pos)
+        )
+    out_rows = []
+    for row in left_rows:
+        key = tuple(row[i] for i in left_key_pos)
+        for rest in index.get(key, ()):
+            out_rows.append(row + rest)
+    return out_vars, out_rows
+
+
+def evaluate_left_deep(
+    query: ConjunctiveQuery, db: Database, order: Sequence[int] | None = None
+) -> Relation:
+    """Evaluate a full conjunctive query by a left-deep chain of hash joins.
+
+    ``order`` optionally permutes the atoms; by default atoms are joined
+    greedily, always picking next an atom sharing a variable with the
+    current partial result (falling back to a cartesian product only when
+    the query is disconnected).
+    """
+    atoms = list(query.atoms)
+    if order is not None:
+        atoms = [atoms[i] for i in order]
+    else:
+        remaining = atoms[1:]
+        ordered = [atoms[0]]
+        bound = set(atoms[0].variable_set)
+        while remaining:
+            pick = next(
+                (a for a in remaining if a.variable_set & bound),
+                remaining[0],
+            )
+            remaining.remove(pick)
+            ordered.append(pick)
+            bound |= pick.variable_set
+        atoms = ordered
+    out_vars, out_rows = _atom_rows(atoms[0], db)
+    for atom in atoms[1:]:
+        r_vars, r_rows = _atom_rows(atom, db)
+        out_vars, out_rows = hash_join(out_vars, out_rows, r_vars, r_rows)
+    # project to the canonical variable order of the query
+    target = query.variables
+    positions = [out_vars.index(v) for v in target]
+    return Relation(
+        target,
+        (tuple(row[i] for i in positions) for row in out_rows),
+        name=query.name,
+    )

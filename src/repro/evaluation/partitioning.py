@@ -1,0 +1,132 @@
+"""Degree-based relation partitioning (Lemma 2.5) and strong satisfaction.
+
+A relation R *strongly satisfies* a concrete ℓp statistic ((V|U), p, B) —
+written R |=_s (τ, B) — when there is a d > 0 with ‖deg_R(V|U)‖_∞ ≤ d and
+|Π_U(R)| ≤ B^p / d^p.  Strong satisfaction lets the statistic be replaced
+by an ℓ1 and an ℓ∞ statistic (Eq. 22), which is what reduces the paper's
+evaluation algorithm to PANDA.
+
+Lemma 2.5: any R satisfying an ℓp statistic splits into
+O(2^p · log N) parts that each strongly satisfy it — bucket the U-values
+by ⌊log2 degree⌋, then chop each bucket into ⌈2^p⌉ slices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.conditionals import ConcreteStatistic
+from ..core.degree import degree_sequence
+from ..relational import Relation
+
+__all__ = [
+    "strongly_satisfies",
+    "partition_by_degree",
+    "partition_for_statistic",
+]
+
+
+def strongly_satisfies(
+    relation: Relation,
+    v_attrs: Sequence[str],
+    u_attrs: Sequence[str],
+    p: float,
+    log2_bound: float,
+    tolerance_log2: float = 1e-9,
+) -> bool:
+    """Check R |=_s ((V|U), p, B) with the best d, the max degree.
+
+    With d = ‖deg(V|U)‖_∞ the condition |Π_U(R)| ≤ B^p/d^p becomes
+    log2 |Π_U| + p·log2 d ≤ p·b (and for p = ∞ just log2 d ≤ b).
+    """
+    if len(relation) == 0:
+        return True
+    seq = degree_sequence(relation, v_attrs, u_attrs)
+    log2_d = math.log2(float(seq[0]))
+    if p == math.inf:
+        return log2_d <= log2_bound + tolerance_log2
+    log2_u = math.log2(float(seq.size))
+    return log2_u + p * log2_d <= p * log2_bound + tolerance_log2
+
+
+def partition_by_degree(
+    relation: Relation,
+    v_attrs: Sequence[str],
+    u_attrs: Sequence[str],
+) -> list[Relation]:
+    """Split R by ⌊log2 deg(V | U=u)⌋ buckets of the U-value degrees.
+
+    Within each part, every U-value's degree lies in [2^i, 2^{i+1}), i.e.
+    all degrees agree within a factor of two — the first step of
+    Lemma 2.5's proof.
+    """
+    if len(relation) == 0:
+        return []
+    sizes = relation.group_sizes(tuple(u_attrs), tuple(v_attrs))
+    bucket_of = {u: int(math.floor(math.log2(d))) for u, d in sizes.items()}
+    u_positions = relation.positions(tuple(u_attrs))
+    buckets: dict[int, list[tuple]] = {}
+    for row in relation:
+        key = tuple(row[i] for i in u_positions)
+        buckets.setdefault(bucket_of[key], []).append(row)
+    return [
+        relation.restrict_rows(rows)
+        for _, rows in sorted(buckets.items())
+    ]
+
+
+def partition_for_statistic(
+    relation: Relation,
+    v_attrs: Sequence[str],
+    u_attrs: Sequence[str],
+    p: float,
+    log2_bound: float,
+) -> list[Relation]:
+    """Lemma 2.5: parts that each strongly satisfy ((V|U), p, B).
+
+    Degree-buckets first (all degrees within a factor of two), then chops
+    each bucket's U-values into slices of at most ⌊B^p / d_max^p⌋ values,
+    where d_max is the bucket's maximum degree — each slice then strongly
+    satisfies the statistic with d = d_max by construction.  Because a
+    bucket at level i holds at most B^p/2^{p·i} U-values, the slice count
+    matches Lemma 2.5's O(2^p · log N) up to constants.
+
+    For p = ∞ the statistic is already an ℓ∞ assertion and the relation is
+    returned whole (it strongly satisfies trivially with d = B).
+
+    Raises ``ValueError`` if the relation does not satisfy the statistic in
+    the first place (then no partition can strongly satisfy it).
+    """
+    if p == math.inf:
+        return [relation] if len(relation) else []
+    parts: list[Relation] = []
+    u_positions = relation.positions(tuple(u_attrs))
+    for bucket in partition_by_degree(relation, v_attrs, u_attrs):
+        sizes = bucket.group_sizes(tuple(u_attrs), tuple(v_attrs))
+        d_max = max(sizes.values())
+        log2_capacity = p * (log2_bound - math.log2(d_max))
+        if log2_capacity < -1e-9:
+            raise ValueError(
+                f"relation violates the ℓ{p:g} statistic: a degree of "
+                f"{d_max} alone exceeds the bound 2^{log2_bound:.4g}"
+            )
+        if log2_capacity > 60:
+            capacity = len(sizes)
+        else:
+            capacity = max(1, int(2.0 ** log2_capacity + 1e-9))
+        u_values = sorted(sizes)
+        for start in range(0, len(u_values), capacity):
+            chosen = set(u_values[start : start + capacity])
+            rows = [
+                row
+                for row in bucket
+                if tuple(row[i] for i in u_positions) in chosen
+            ]
+            parts.append(relation.restrict_rows(rows))
+    for part in parts:
+        assert strongly_satisfies(part, v_attrs, u_attrs, p, log2_bound), (
+            f"part of {relation.name or 'relation'} fails strong "
+            f"satisfaction for p={p}, b={log2_bound}"
+        )
+    return parts

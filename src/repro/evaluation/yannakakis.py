@@ -1,0 +1,125 @@
+"""Yannakakis semijoin reduction for α-acyclic queries.
+
+The classical preprocessing step: two sweeps of semijoins along a join
+tree remove every *dangling* tuple — tuples that participate in no output
+row.  After reduction, each relation is exactly the projection of the
+output onto its atom, which makes the reduced database the natural input
+for any evaluator and gives a cheap lower-bound witness for cardinality
+estimates (every surviving tuple extends to at least one output row).
+
+Used by tests as an independent oracle (reduction must not change the
+output) and available to users as the standard acyclic-query optimisation
+the paper's pipeline would sit inside.
+"""
+
+from __future__ import annotations
+
+from ..query.query import ConjunctiveQuery
+from ..relational import Database, Relation
+from .acyclic_count import join_tree
+from .joins import _atom_rows
+
+__all__ = ["semijoin_reduce"]
+
+
+def _semijoin(
+    target_vars: tuple[str, ...],
+    target_rows: list[tuple],
+    source_vars: tuple[str, ...],
+    source_rows: list[tuple],
+) -> list[tuple]:
+    """Rows of target with a matching partner in source (on shared vars)."""
+    shared = [v for v in target_vars if v in set(source_vars)]
+    if not shared:
+        return target_rows if source_rows else []
+    s_pos = [source_vars.index(v) for v in shared]
+    keys = {tuple(row[i] for i in s_pos) for row in source_rows}
+    t_pos = [target_vars.index(v) for v in shared]
+    return [
+        row for row in target_rows if tuple(row[i] for i in t_pos) in keys
+    ]
+
+
+def semijoin_reduce(query: ConjunctiveQuery, db: Database) -> Database:
+    """The full (up-then-down) Yannakakis reduction of the database.
+
+    Returns a database over the same relation names where every relation
+    is restricted to the rows that participate in at least one output
+    tuple of ``query``.  Only defined for α-acyclic queries.
+
+    For self-joins (one relation behind several atoms) the surviving rows
+    are the union of the per-atom survivors — each kept row participates
+    through at least one of its atoms.
+    """
+    tree = join_tree(query)  # raises for cyclic queries
+    atoms = list(query.atoms)
+    rows_of = {i: list(_atom_rows(atoms[i], db)[1]) for i in range(len(atoms))}
+    vars_of = {i: _atom_rows(atoms[i], db)[0] for i in range(len(atoms))}
+    children: dict[int, list[int]] = {i: [] for i in range(len(atoms))}
+    root = None
+    for atom_idx, parent_idx in tree:
+        if parent_idx is None:
+            root = atom_idx
+        else:
+            children[parent_idx].append(atom_idx)
+
+    # upward sweep: parents lose rows with no partner in each child
+    for atom_idx, parent_idx in tree:
+        if parent_idx is None:
+            continue
+        rows_of[parent_idx] = _semijoin(
+            vars_of[parent_idx],
+            rows_of[parent_idx],
+            vars_of[atom_idx],
+            rows_of[atom_idx],
+        )
+    # downward sweep: children lose rows with no partner in their parent
+    def push_down(node: int) -> None:
+        for child in children[node]:
+            rows_of[child] = _semijoin(
+                vars_of[child],
+                rows_of[child],
+                vars_of[node],
+                rows_of[node],
+            )
+            push_down(child)
+
+    assert root is not None
+    push_down(root)
+
+    # map surviving variable-rows back to relation rows (per atom), then
+    # union across atoms sharing a relation
+    surviving: dict[str, set[tuple]] = {
+        name: set() for name in {a.relation for a in atoms}
+    }
+    for i, atom in enumerate(atoms):
+        relation = db[atom.relation]
+        distinct_vars = vars_of[i]
+        keep = set(rows_of[i])
+        positions: dict[str, int] = {}
+        for position, var in enumerate(atom.variables):
+            positions.setdefault(var, position)
+        for row in relation:
+            key = tuple(row[positions[v]] for v in distinct_vars)
+            # repeated-variable atoms: the key collapses; diagonal rows only
+            if len(set(atom.variables)) != len(atom.variables):
+                groups: dict[str, list[int]] = {}
+                for position, var in enumerate(atom.variables):
+                    groups.setdefault(var, []).append(position)
+                if not all(
+                    len({row[i] for i in ps}) == 1
+                    for ps in groups.values()
+                    if len(ps) > 1
+                ):
+                    continue
+            if key in keep:
+                surviving[atom.relation].add(row)
+    reduced = {
+        name: Relation(db[name].attributes, rows, name=name)
+        for name, rows in surviving.items()
+    }
+    # relations not mentioned by the query pass through untouched
+    for name in db:
+        if name not in reduced:
+            reduced[name] = db[name]
+    return Database(reduced)

@@ -1,0 +1,50 @@
+"""Experiments: one module per table/figure of the paper (see DESIGN.md §4).
+
+| id  | paper artifact        | module                |
+|-----|-----------------------|-----------------------|
+| E1  | App. C.1 triangle     | ``triangle``          |
+| E2  | App. C.1 one-join     | ``one_join``          |
+| E3  | Figure 1 (JOB)        | ``job``               |
+| E4  | Example 2.3 cycles    | ``cycle``             |
+| E5  | App. C.3 DSB gap      | ``dsb_gap``           |
+| E6  | Example 6.7           | ``normal_vs_product`` |
+| E7  | Theorem D.3(2)        | ``nonshannon``        |
+| E8  | Sec. 2.2 / Thm 2.6    | ``evaluation_runtime``|
+| E9  | norm-family ablation  | ``norm_ablation``     |
+| E10 | LP scaling ablation   | ``lp_scaling``        |
+| E11 | Example 2.2 chains    | ``chain``             |
+| E12 | App. C.6 Loomis–Whitney | ``loomis_whitney``  |
+| E13 | Appendix B ([14])     | ``appendix_b``        |
+"""
+
+from . import (
+    appendix_b,
+    chain,
+    cycle,
+    dsb_gap,
+    evaluation_runtime,
+    job,
+    loomis_whitney,
+    lp_scaling,
+    nonshannon,
+    norm_ablation,
+    normal_vs_product,
+    one_join,
+    triangle,
+)
+
+__all__ = [
+    "triangle",
+    "one_join",
+    "job",
+    "cycle",
+    "dsb_gap",
+    "normal_vs_product",
+    "nonshannon",
+    "evaluation_runtime",
+    "norm_ablation",
+    "lp_scaling",
+    "chain",
+    "loomis_whitney",
+    "appendix_b",
+]

@@ -1,0 +1,142 @@
+"""Experiment E4 — Example 2.3 / Appendix C.5: every ℓp is needed.
+
+For each p, the (p+1)-cycle on an (α,β)-relation with α = β = 1/(p+1)
+has |Q| = Θ(N) while:
+
+* the AGM bound (52-left) is N^{(p+1)/2};
+* the PANDA bound (52-right) is N^{2p/(p+1)};
+* the ℓq bound (21) is N^{(p+1)/(q+1)} — minimised at q = p, where it is
+  (1+o(1))·N.
+
+The experiment computes all of these (closed forms *and* the LP, which
+must agree with the best closed form) plus the true output size, showing
+that the ℓp-norm statistic is the one that matters for the (p+1)-cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core import collect_statistics, lp_bound
+from ..core.formulas import cycle_agm, cycle_bound, cycle_panda
+from ..core.norms import log2_norm
+from ..core.degree import degree_sequence
+from ..datasets.generators import alpha_beta_relation
+from ..evaluation import count_query
+from ..query.query import Atom, ConjunctiveQuery
+from ..relational import Database
+from .harness import format_table, ratio_to_true
+
+__all__ = ["CycleRow", "cycle_query", "run_cycle_experiment", "main"]
+
+
+def cycle_query(length: int) -> ConjunctiveQuery:
+    """The cycle query of the given length (number of atoms ≥ 3).
+
+    Uses one relation symbol per atom, all bound to the same instance, so
+    statistics guard cleanly (matching Example 2.3's R_0 … R_p)."""
+    if length < 3:
+        raise ValueError("cycles need at least 3 atoms")
+    atoms = [
+        Atom(f"R{i}", (f"x{i}", f"x{(i + 1) % length}"))
+        for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms, name=f"cycle{length}")
+
+
+@dataclass
+class CycleRow:
+    """Bounds for one q on the (p+1)-cycle (log2 values and ratio)."""
+
+    q: float
+    log2_bound: float
+    ratio: float
+
+
+@dataclass
+class CycleExperiment:
+    """Full results for one p."""
+
+    p: int
+    m: int
+    true_count: int
+    rows: list[CycleRow]  # one per q = 1..p (the ℓq bounds)
+    log2_agm: float
+    log2_panda: float
+    log2_lp: float
+    lp_norms_used: list[float]
+
+    @property
+    def best_q(self) -> float:
+        return min(self.rows, key=lambda r: r.log2_bound).q
+
+
+def run_cycle_experiment(p: int, m: int = 2048) -> CycleExperiment:
+    """Run E4 for one p: the (p+1)-cycle on an (α,β)=(1/(p+1),1/(p+1)) relation."""
+    length = p + 1
+    relation = alpha_beta_relation(1.0 / length, 1.0 / length, m)
+    query = cycle_query(length)
+    db = Database({f"R{i}": relation for i in range(length)})
+    true_count = count_query(query, db)
+    seq = degree_sequence(relation, ["y"], ["x"])
+    log2_size = math.log2(len(relation))
+    rows = []
+    for q in range(1, p + 1):
+        lq = log2_norm(seq, float(q))
+        rows.append(
+            CycleRow(
+                q=float(q),
+                log2_bound=cycle_bound([lq] * length, float(q)),
+                ratio=ratio_to_true(
+                    cycle_bound([lq] * length, float(q)), true_count
+                ),
+            )
+        )
+    ps = [float(k) for k in range(1, p + 1)] + [math.inf]
+    stats = collect_statistics(query, db, ps=ps)
+    lp = lp_bound(stats, query=query)
+    return CycleExperiment(
+        p=p,
+        m=m,
+        true_count=true_count,
+        rows=rows,
+        log2_agm=cycle_agm([log2_size] * length),
+        log2_panda=cycle_panda(
+            log2_size, log2_norm(seq, math.inf), length
+        ),
+        log2_lp=lp.log2_bound,
+        lp_norms_used=lp.norms_used(),
+    )
+
+
+def main(ps: tuple[int, ...] = (2, 3, 4), m: int = 2048) -> str:
+    """Render E4 for several cycle lengths."""
+    sections = []
+    for p in ps:
+        exp = run_cycle_experiment(p, m=m)
+        table = format_table(
+            ["bound", "log2", "ratio to |Q|"],
+            [
+                *(
+                    (f"ℓ{int(r.q)} (21)", f"{r.log2_bound:.2f}", f"{r.ratio:.2f}")
+                    for r in exp.rows
+                ),
+                ("AGM {1}", f"{exp.log2_agm:.2f}",
+                 f"{ratio_to_true(exp.log2_agm, exp.true_count):.2f}"),
+                ("PANDA {1,∞}", f"{exp.log2_panda:.2f}",
+                 f"{ratio_to_true(exp.log2_panda, exp.true_count):.2f}"),
+                ("LP (all)", f"{exp.log2_lp:.2f}",
+                 f"{ratio_to_true(exp.log2_lp, exp.true_count):.2f}"),
+            ],
+        )
+        sections.append(
+            f"E4: {p + 1}-cycle on (1/{p+1},1/{p+1})-relation, M={exp.m}, "
+            f"|Q|={exp.true_count}, best closed-form q={exp.best_q:g}, "
+            f"LP used norms {exp.lp_norms_used}\n{table}"
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

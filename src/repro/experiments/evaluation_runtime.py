@@ -1,0 +1,93 @@
+"""Experiment E8 — Sec. 2.2 / Theorem 2.6: evaluation within the bound.
+
+Runs the paper's evaluation algorithm (Lemma 2.5 partitioning + per-part
+PANDA stand-in) on graph workloads and compares the *metered* work —
+search-tree nodes across all parts — against the Theorem 2.6 budget
+c · Π_i B_i^{w_i}.  Also cross-checks that the partitioned evaluation
+returns exactly the same output as a direct join.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core import collect_statistics, lp_bound
+from ..datasets.snap import snap_database
+from ..evaluation import count_query, evaluate_with_partitioning
+from ..query import parse_query
+from ..query.query import ConjunctiveQuery
+from ..relational import Database
+
+__all__ = ["RuntimeRow", "run_evaluation_experiment", "main"]
+
+ONE_JOIN = parse_query("onejoin(x,y,z) :- R(x,y), R(y,z)")
+TRIANGLE = parse_query("triangle(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+
+
+@dataclass
+class RuntimeRow:
+    """One workload's metered run."""
+
+    workload: str
+    output_count: int
+    direct_count: int
+    parts_evaluated: int
+    log2_nodes: float
+    log2_budget: float
+
+    @property
+    def output_matches(self) -> bool:
+        return self.output_count == self.direct_count
+
+    @property
+    def within_budget(self) -> bool:
+        """nodes ≤ 2^budget · polylog — we allow a 2^6 polylog factor."""
+        return self.log2_nodes <= self.log2_budget + 6.0
+
+
+def _run_one(
+    label: str, query: ConjunctiveQuery, db: Database, ps: list[float]
+) -> RuntimeRow:
+    stats = collect_statistics(query, db, ps=ps)
+    bound = lp_bound(stats, query=query)
+    run = evaluate_with_partitioning(query, db, bound, max_parts=20000)
+    direct = count_query(query, db)
+    return RuntimeRow(
+        workload=label,
+        output_count=run.count,
+        direct_count=direct,
+        parts_evaluated=run.parts_evaluated,
+        log2_nodes=math.log2(max(1, run.nodes_visited)),
+        log2_budget=run.log2_budget,
+    )
+
+
+def run_evaluation_experiment(
+    dataset: str = "ca-GrQc",
+) -> list[RuntimeRow]:
+    """Run E8 on one dataset: the one-join and the triangle."""
+    db = snap_database(dataset)
+    return [
+        _run_one(f"one-join/{dataset}", ONE_JOIN, db, [1.0, 2.0, math.inf]),
+        _run_one(f"triangle/{dataset}", TRIANGLE, db, [1.0, 2.0, math.inf]),
+    ]
+
+
+def main(dataset: str = "ca-GrQc") -> str:
+    """Render E8."""
+    rows = run_evaluation_experiment(dataset)
+    lines = [f"E8 (Theorem 2.6): partitioned evaluation on {dataset}"]
+    for r in rows:
+        lines.append(
+            f"  {r.workload}: |Q|={r.output_count}"
+            f" (matches direct: {r.output_matches});"
+            f" {r.parts_evaluated} part combinations;"
+            f" work 2^{r.log2_nodes:.2f} vs budget 2^{r.log2_budget:.2f}"
+            f" (within budget: {r.within_budget})"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

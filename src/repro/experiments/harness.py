@@ -1,0 +1,60 @@
+"""Shared experiment utilities: ratios, tables, timing."""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterable, Sequence
+
+__all__ = ["ratio_to_true", "format_table", "format_scientific", "timer"]
+
+
+def ratio_to_true(log2_bound: float, true_count: int) -> float:
+    """bound / true-cardinality, computed in log space (1.0 is perfect).
+
+    Returns ``inf`` when the bound is unbounded and ``nan`` when the true
+    count is zero (ratios are undefined then, as in the paper).
+    """
+    if true_count <= 0:
+        return math.nan
+    if log2_bound == math.inf:
+        return math.inf
+    return 2.0 ** (log2_bound - math.log2(true_count))
+
+
+def format_scientific(value: float) -> str:
+    """Format like the paper's Figure 1 (e.g. 1.90E+00)."""
+    if value != value:  # NaN
+        return "n/a"
+    if value == math.inf:
+        return "inf"
+    return f"{value:.2E}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table for experiment reports."""
+    rendered = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([str(cell) for cell in row])
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(rendered[0]))
+    ]
+    lines = []
+    for i, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(line, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@contextmanager
+def timer():
+    """``with timer() as t: ...; t()`` → elapsed seconds."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

@@ -1,0 +1,138 @@
+"""Experiment E12 — Appendix C.6: Loomis–Whitney queries (arity > 2).
+
+All the headline experiments use binary relations; C.6 shows the
+framework handles higher arities.  For the 4-variable Loomis–Whitney
+query over ternary relations we compare the AGM bound (which is
+|R|^{4/3}-style and tight for product instances), the C.6 ℓ2 bound, and
+the full LP, on skewed synthetic ternary relations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import collect_statistics, lp_bound
+from ..core.degree import degree_sequence
+from ..core.formulas import loomis_whitney_l2
+from ..core.norms import log2_norm
+from ..datasets.generators import zipf_values
+from ..estimators.agm import agm_bound
+from ..evaluation import count_query
+from ..query.query import Atom, ConjunctiveQuery
+from ..relational import Database, Relation
+
+__all__ = [
+    "LoomisWhitneyResult",
+    "loomis_whitney_query",
+    "skewed_ternary_instance",
+    "run_loomis_whitney_experiment",
+    "main",
+]
+
+
+def loomis_whitney_query() -> ConjunctiveQuery:
+    """LW₄: one atom per 3-subset of {X, Y, Z, W}."""
+    return ConjunctiveQuery(
+        [
+            Atom("A", ("X", "Y", "Z")),
+            Atom("B", ("Y", "Z", "W")),
+            Atom("C", ("Z", "W", "X")),
+            Atom("D", ("W", "X", "Y")),
+        ],
+        name="LW4",
+    )
+
+
+def skewed_ternary_instance(
+    rows: int = 3000, domain: int = 40, exponent: float = 0.9, seed: int = 17
+) -> Database:
+    """Four correlated skewed ternary relations over a shared tuple pool.
+
+    All four relations are projections of one skewed 4-column pool, so the
+    join is non-trivially large and the degree sequences are heavy-tailed
+    — the regime where the ℓ2 bound pulls ahead of AGM.
+    """
+    rng = np.random.default_rng(seed)
+    columns = [zipf_values(rows, domain, exponent, rng) for _ in range(4)]
+    pool = list(zip(*(c.tolist() for c in columns)))  # (x, y, z, w)
+    def proj(indices, attrs):
+        return Relation(attrs, ({tuple(t[i] for i in indices) for t in pool}))
+
+    return Database(
+        {
+            "A": proj((0, 1, 2), ("x", "y", "z")),
+            "B": proj((1, 2, 3), ("y", "z", "w")),
+            "C": proj((2, 3, 0), ("z", "w", "x")),
+            "D": proj((3, 0, 1), ("w", "x", "y")),
+        }
+    )
+
+
+@dataclass
+class LoomisWhitneyResult:
+    true_count: int
+    log2_agm: float
+    log2_c6_formula: float
+    log2_lp: float
+    lp_norms_used: list[float]
+
+    def ratios(self) -> dict[str, float]:
+        t = math.log2(max(1, self.true_count))
+        return {
+            "agm": 2.0 ** (self.log2_agm - t),
+            "c6": 2.0 ** (self.log2_c6_formula - t),
+            "lp": 2.0 ** (self.log2_lp - t),
+        }
+
+
+def run_loomis_whitney_experiment(
+    rows: int = 3000, domain: int = 40, exponent: float = 0.9, seed: int = 17
+) -> LoomisWhitneyResult:
+    """Run E12 on one synthetic instance."""
+    db = skewed_ternary_instance(rows, domain, exponent, seed)
+    query = loomis_whitney_query()
+    true_count = count_query(query, db)
+    agm = agm_bound(query, db)
+    # the C.6 closed form: ℓ2 on deg_A(YZ|X) and deg_C(WX|Z), sizes of B, D
+    a, c = db["A"], db["C"]
+    l2_a = log2_norm(degree_sequence(a, ["y", "z"], ["x"]), 2.0)
+    l2_c = log2_norm(degree_sequence(c, ["w", "x"], ["z"]), 2.0)
+    formula = loomis_whitney_l2(
+        l2_a, math.log2(len(db["B"])), l2_c, math.log2(len(db["D"]))
+    )
+    stats = collect_statistics(
+        query, db, ps=[1.0, 2.0, 3.0, 4.0, math.inf]
+    )
+    lp = lp_bound(stats, query=query)
+    return LoomisWhitneyResult(
+        true_count=true_count,
+        log2_agm=agm,
+        log2_c6_formula=formula,
+        log2_lp=lp.log2_bound,
+        lp_norms_used=lp.norms_used(),
+    )
+
+
+def main() -> str:
+    """Render E12."""
+    res = run_loomis_whitney_experiment()
+    ratios = res.ratios()
+    return "\n".join(
+        [
+            "E12 (Appendix C.6): Loomis–Whitney LW₄ on skewed ternary data",
+            f"  true |Q|        = {res.true_count}",
+            f"  AGM bound       = 2^{res.log2_agm:.2f}"
+            f"  (ratio {ratios['agm']:.3g})",
+            f"  C.6 ℓ2 formula  = 2^{res.log2_c6_formula:.2f}"
+            f"  (ratio {ratios['c6']:.3g})",
+            f"  full ℓp LP      = 2^{res.log2_lp:.2f}"
+            f"  (ratio {ratios['lp']:.3g}, norms {res.lp_norms_used})",
+        ]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

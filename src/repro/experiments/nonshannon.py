@@ -1,0 +1,135 @@
+"""Experiment E7 — Theorem D.3(2): the polymatroid bound is not tight.
+
+The 4-variable α-acyclic query
+
+    Q(A,B,X,Y) = R1(A,B,X,Y) ∧ R2(B,X) ∧ R3(B,Y) ∧ R4(X,Y)
+                 ∧ R5(A,Y) ∧ R6(A,X)
+
+with the (non-simple) log-statistics of Appendix D.2 (scaled by k):
+
+* polymatroid LP bound = 4k bits — the Figure 2 polymatroid is feasible
+  with h(ABXY) = 4k;
+* adding the Zhang–Yeung non-Shannon inequality to the cone drops the
+  bound to 35k/9 bits — the certificate of Proposition D.5;
+* hence the polymatroid bound overshoots the (almost-)entropic bound by
+  the exponent factor 36/35, i.e. no database can come closer than
+  2^{35k/9} while the polymatroid LP claims 2^{4k}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+from ..core.lp_bound import lp_bound
+from ..entropy.zhang_yeung import zhang_yeung_coefficients
+from ..query.query import Atom, ConjunctiveQuery
+
+__all__ = [
+    "NonShannonResult",
+    "theorem_d3_query",
+    "theorem_d3_statistics",
+    "run_nonshannon_experiment",
+    "main",
+]
+
+_VARIABLES = ("A", "B", "X", "Y")
+
+
+def theorem_d3_query() -> ConjunctiveQuery:
+    """The α-acyclic query of Theorem D.3(2)."""
+    return ConjunctiveQuery(
+        [
+            Atom("R1", ("A", "B", "X", "Y")),
+            Atom("R2", ("B", "X")),
+            Atom("R3", ("B", "Y")),
+            Atom("R4", ("X", "Y")),
+            Atom("R5", ("A", "Y")),
+            Atom("R6", ("A", "X")),
+        ],
+        name="thmD3",
+    )
+
+
+def theorem_d3_statistics(k: float = 1.0) -> StatisticsSet:
+    """The 11 log-statistics (Σ, k·b) of Appendix D.2.
+
+    b = (4/5, 2, 2, 3, 3, 5/3, 5/3, 5/3, 5/3, 2, 3) for the statistics in
+    the paper's order.
+    """
+    query = theorem_d3_query()
+    atom = {a.relation: a for a in query.atoms}
+
+    def cond(v: str, u: str = "") -> Conditional:
+        return Conditional(frozenset(v), frozenset(u))
+
+    entries = [
+        (cond("B", "AXY"), 5.0, 4.0 / 5.0, "R1"),
+        (cond("A", "BXY"), 2.0, 2.0, "R1"),
+        (cond("XY", "AB"), 2.0, 2.0, "R1"),
+        (cond("BX"), 1.0, 3.0, "R2"),
+        (cond("BY"), 1.0, 3.0, "R3"),
+        (cond("Y", "X"), 3.0, 5.0 / 3.0, "R4"),
+        (cond("X", "Y"), 3.0, 5.0 / 3.0, "R4"),
+        (cond("Y", "A"), 3.0, 5.0 / 3.0, "R5"),
+        (cond("A", "Y"), 3.0, 5.0 / 3.0, "R5"),
+        (cond("A", "X"), 2.0, 2.0, "R6"),
+        (cond("AX"), 1.0, 3.0, "R6"),
+    ]
+    return StatisticsSet(
+        ConcreteStatistic(AbstractStatistic(c, p), k * b, atom[guard])
+        for c, p, b, guard in entries
+    )
+
+
+@dataclass
+class NonShannonResult:
+    k: float
+    log2_polymatroid: float
+    log2_with_zhang_yeung: float
+
+    @property
+    def exponent_ratio(self) -> float:
+        """ZY-enhanced / polymatroid — the paper's 35/36 ≈ 0.9722."""
+        return self.log2_with_zhang_yeung / self.log2_polymatroid
+
+
+def run_nonshannon_experiment(k: float = 1.0) -> NonShannonResult:
+    """Run E7: polymatroid LP with and without the ZY inequality."""
+    query = theorem_d3_query()
+    stats = theorem_d3_statistics(k)
+    plain = lp_bound(stats, query=query, cone="polymatroid")
+    zy = zhang_yeung_coefficients(query.variables)
+    enhanced = lp_bound(
+        stats, query=query, cone="polymatroid", extra_inequalities=[zy]
+    )
+    return NonShannonResult(
+        k=k,
+        log2_polymatroid=plain.log2_bound,
+        log2_with_zhang_yeung=enhanced.log2_bound,
+    )
+
+
+def main(k: float = 1.0) -> str:
+    """Render E7."""
+    res = run_nonshannon_experiment(k)
+    return "\n".join(
+        [
+            f"E7 (Theorem D.3(2)): non-Shannon gap, k = {res.k:g}",
+            f"  polymatroid bound      = {res.log2_polymatroid:.4f} bits"
+            f"  (paper: 4k = {4 * res.k:g})",
+            f"  + Zhang–Yeung         = {res.log2_with_zhang_yeung:.4f} bits"
+            f"  (paper: 35k/9 = {35 * res.k / 9:.4f})",
+            f"  exponent ratio         = {res.exponent_ratio:.4f}"
+            f"  (paper: 35/36 = {35 / 36:.4f})",
+        ]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

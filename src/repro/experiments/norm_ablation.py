@@ -1,0 +1,103 @@
+"""Experiment E9 — ablation: bound quality vs available norm family.
+
+The paper remarks (Sec. 2.1, Example 2.2) that its JOB bounds drew on
+ℓp-norms across the whole range p ∈ {1, …, 29, ∞}, arguing for keeping a
+wide variety of precomputed statistics.  This ablation quantifies that:
+for nested norm families
+
+    {1} ⊂ {1,∞} ⊂ {1,2,∞} ⊂ {1,2,3,∞} ⊂ … ⊂ {1..30,∞}
+
+it reports the geometric-mean ratio (bound / true) over the JOB-like
+queries, showing monotone improvement with diminishing returns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core import collect_statistics, lp_bound
+from ..datasets.imdb import imdb_database
+from ..datasets.job_queries import JOB_QUERY_IDS, job_query
+from ..evaluation import acyclic_count
+from ..relational import Database
+from .harness import format_table
+
+__all__ = ["AblationRow", "run_norm_ablation", "main", "DEFAULT_FAMILIES"]
+
+DEFAULT_FAMILIES: tuple[tuple[float, ...], ...] = (
+    (1.0,),
+    (1.0, math.inf),
+    (1.0, 2.0, math.inf),
+    (1.0, 2.0, 3.0, math.inf),
+    (1.0, 2.0, 3.0, 4.0, 5.0, math.inf),
+    tuple(float(p) for p in range(1, 11)) + (math.inf,),
+    tuple(float(p) for p in range(1, 31)) + (math.inf,),
+)
+
+
+def _family_label(family: tuple[float, ...]) -> str:
+    finite = [p for p in family if p != math.inf]
+    label = f"{{1..{int(max(finite))}}}" if len(finite) > 1 else "{1}"
+    if math.inf in family:
+        label = label[:-1] + ",∞}"
+    return label
+
+
+@dataclass
+class AblationRow:
+    family: tuple[float, ...]
+    label: str
+    geomean_ratio: float
+    worst_ratio: float
+
+
+def run_norm_ablation(
+    db: Database | None = None,
+    query_ids: tuple[int, ...] | None = None,
+    families: tuple[tuple[float, ...], ...] = DEFAULT_FAMILIES,
+    scale: float = 0.3,
+    seed: int = 7,
+) -> list[AblationRow]:
+    """Run E9: one row per norm family."""
+    database = db if db is not None else imdb_database(scale=scale, seed=seed)
+    ids = query_ids or JOB_QUERY_IDS
+    all_ps = sorted(set().union(*families))
+    per_query = []
+    for qid in ids:
+        query = job_query(qid)
+        true_count = acyclic_count(query, database)
+        stats = collect_statistics(query, database, ps=all_ps)
+        per_query.append((query, stats, true_count))
+    rows = []
+    for family in families:
+        log2_ratios = []
+        for query, stats, true_count in per_query:
+            result = lp_bound(stats.restrict_ps(family), query=query)
+            log2_ratios.append(result.log2_bound - math.log2(true_count))
+        rows.append(
+            AblationRow(
+                family=family,
+                label=_family_label(family),
+                geomean_ratio=2.0 ** (sum(log2_ratios) / len(log2_ratios)),
+                worst_ratio=2.0 ** max(log2_ratios),
+            )
+        )
+    return rows
+
+
+def main(scale: float = 0.3) -> str:
+    """Render E9."""
+    rows = run_norm_ablation(scale=scale)
+    table = format_table(
+        ["Norm family", "geomean ratio", "worst ratio"],
+        [
+            (r.label, f"{r.geomean_ratio:.3g}", f"{r.worst_ratio:.3g}")
+            for r in rows
+        ],
+    )
+    return "E9: bound quality vs available norms (JOB-like queries)\n" + table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,185 @@
+"""Query hypergraphs: acyclicity tests, girth, fractional edge covers.
+
+A join query induces a hypergraph whose nodes are the query variables and
+whose hyperedges are the atoms' variable sets.  The paper needs three
+structural notions:
+
+* **α-acyclicity** (GYO reduction) — the class where classical upper bounds
+  degenerate and where the paper's ℓp bounds shine (Sec. 1, Example 2.2);
+* **Berge-acyclicity** — the class where the Degree Sequence Bound [6]
+  applies (Appendix C.3);
+* **girth** of the query graph for binary-relation queries — the
+  applicability condition of Jayaraman et al. [14] (Appendix B);
+* the **fractional edge cover** LP whose optimum gives the AGM bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+from scipy.optimize import linprog
+
+from .query import ConjunctiveQuery
+
+__all__ = [
+    "Hypergraph",
+    "is_alpha_acyclic",
+    "is_berge_acyclic",
+    "girth",
+    "fractional_edge_cover",
+]
+
+
+class Hypergraph:
+    """The hypergraph of a conjunctive query (or of explicit edge sets)."""
+
+    def __init__(self, edges: Sequence[frozenset[str]]) -> None:
+        self.edges: list[frozenset[str]] = [frozenset(e) for e in edges]
+        self.nodes: frozenset[str] = (
+            frozenset().union(*self.edges) if self.edges else frozenset()
+        )
+
+    @classmethod
+    def of_query(cls, query: ConjunctiveQuery) -> "Hypergraph":
+        return cls([atom.variable_set for atom in query.atoms])
+
+    # ------------------------------------------------------------------
+    def gyo_reduction(self) -> list[frozenset[str]]:
+        """Run the GYO reduction; return the remaining hyperedges.
+
+        Repeatedly (a) remove *ear* vertices that appear in exactly one
+        hyperedge, and (b) remove hyperedges contained in another hyperedge.
+        The hypergraph is α-acyclic iff the result is empty (or a single
+        empty edge).
+        """
+        edges = [set(e) for e in self.edges]
+        changed = True
+        while changed:
+            changed = False
+            # remove edges contained in other edges
+            kept: list[set] = []
+            for i, e in enumerate(edges):
+                contained = any(
+                    e <= f for j, f in enumerate(edges) if i != j
+                ) or (e and any(e == f for f in kept))
+                if e and not contained:
+                    kept.append(e)
+                elif e and contained:
+                    changed = True
+            edges = kept
+            # remove isolated (ear) vertices
+            counts: dict[str, int] = {}
+            for e in edges:
+                for v in e:
+                    counts[v] = counts.get(v, 0) + 1
+            for e in edges:
+                lonely = {v for v in e if counts[v] == 1}
+                if lonely:
+                    e -= lonely
+                    changed = True
+        return [frozenset(e) for e in edges if e]
+
+    def is_alpha_acyclic(self) -> bool:
+        """α-acyclicity via GYO: the reduction must eliminate everything."""
+        return not self.gyo_reduction()
+
+    def is_berge_acyclic(self) -> bool:
+        """Berge-acyclicity: the bipartite incidence graph is a forest.
+
+        Berge-acyclic implies α-acyclic and implies all degree sequences of
+        join variables are simple (the DSB's applicability condition).
+        """
+        incidence = nx.Graph()
+        for i, e in enumerate(self.edges):
+            for v in e:
+                incidence.add_edge(("edge", i), ("node", v))
+        return nx.is_forest(incidence) if incidence.number_of_edges() else True
+
+    def girth(self) -> float:
+        """Girth of the *query graph* (only defined for binary edges).
+
+        The query graph is a multigraph: two atoms over the same variable
+        pair form a 2-cycle (the situation of Example B.1).  Returns
+        ``inf`` for forests.  Raises ``ValueError`` when a hyperedge is not
+        binary, because girth is a graph notion (Appendix B applies to
+        binary-relation queries only).
+        """
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes)
+        seen_pairs: set[frozenset[str]] = set()
+        has_parallel = False
+        for e in self.edges:
+            if len(e) == 1:
+                continue
+            if len(e) != 2:
+                raise ValueError(
+                    f"girth needs binary edges, got arity {len(e)}"
+                )
+            if e in seen_pairs:
+                has_parallel = True
+            seen_pairs.add(e)
+            u, v = sorted(e)
+            g.add_edge(u, v)
+        if has_parallel:
+            return 2
+        try:
+            simple = nx.girth(g)
+        except AttributeError:  # pragma: no cover - older networkx
+            cycles = nx.cycle_basis(g)
+            simple = min((len(c) for c in cycles), default=math.inf)
+        return simple
+
+    # ------------------------------------------------------------------
+    def fractional_edge_cover(
+        self, weights: Sequence[float] | None = None
+    ) -> tuple[float, np.ndarray]:
+        """Minimum-weight fractional edge cover.
+
+        Solves ``min Σ_j c_j x_j`` subject to ``Σ_{j: v∈e_j} x_j ≥ 1`` for
+        every node v and ``x ≥ 0``.  With ``weights`` c_j = log|R_j| the
+        optimal value is the (log of the) AGM bound; with unit weights the
+        optimum is the fractional edge cover number ρ*.
+
+        Returns ``(optimal value, x*)``.
+        """
+        m = len(self.edges)
+        if m == 0:
+            return 0.0, np.zeros(0)
+        cost = np.ones(m) if weights is None else np.asarray(weights, float)
+        nodes = sorted(self.nodes)
+        a_ub = np.zeros((len(nodes), m))
+        for i, v in enumerate(nodes):
+            for j, e in enumerate(self.edges):
+                if v in e:
+                    a_ub[i, j] = -1.0  # -Σ x_j ≤ -1
+        b_ub = -np.ones(len(nodes))
+        res = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=(0, None), method="highs")
+        if not res.success:
+            raise RuntimeError(f"edge cover LP failed: {res.message}")
+        return float(res.fun), res.x
+
+
+def is_alpha_acyclic(query: ConjunctiveQuery) -> bool:
+    """Whether the query's hypergraph is α-acyclic."""
+    return Hypergraph.of_query(query).is_alpha_acyclic()
+
+
+def is_berge_acyclic(query: ConjunctiveQuery) -> bool:
+    """Whether the query's hypergraph is Berge-acyclic."""
+    return Hypergraph.of_query(query).is_berge_acyclic()
+
+
+def girth(query: ConjunctiveQuery) -> float:
+    """Girth of a binary-relation query's graph (inf if acyclic)."""
+    return Hypergraph.of_query(query).girth()
+
+
+def fractional_edge_cover(
+    query: ConjunctiveQuery, weights: Sequence[float] | None = None
+) -> tuple[float, np.ndarray]:
+    """Fractional edge cover of the query hypergraph; see Hypergraph."""
+    return Hypergraph.of_query(query).fractional_edge_cover(weights)

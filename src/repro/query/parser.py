@@ -1,0 +1,70 @@
+"""A tiny datalog-style parser for join queries.
+
+Accepts strings such as::
+
+    Q(x, y, z) :- R(x, y), S(y, z), T(z, x)
+
+or just the body::
+
+    R(x, y), S(y, z)
+
+and produces a :class:`~repro.query.query.ConjunctiveQuery`.  Since the
+paper only considers *full* queries, any head is accepted but its variable
+list is ignored beyond choosing the query name.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .query import Atom, ConjunctiveQuery
+
+__all__ = ["parse_query"]
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^)]*)\)\s*")
+
+
+def _parse_atoms(body: str) -> list[Atom]:
+    atoms = []
+    pos = 0
+    while pos < len(body):
+        match = _ATOM_RE.match(body, pos)
+        if not match:
+            raise ValueError(f"cannot parse atom at: {body[pos:]!r}")
+        name, arglist = match.groups()
+        variables = tuple(v.strip() for v in arglist.split(",") if v.strip())
+        if not variables:
+            raise ValueError(f"atom {name} has no variables")
+        atoms.append(Atom(name, variables))
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ValueError(f"expected ',' at: {body[pos:]!r}")
+            pos += 1
+    return atoms
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style join query.
+
+    Examples
+    --------
+    >>> q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+    >>> str(q)
+    'Q(x, y, z) = R(x, y) ∧ S(y, z)'
+    >>> parse_query("R(x,y), R(y,z)").num_variables
+    3
+    """
+    text = text.strip()
+    name = "Q"
+    if ":-" in text:
+        head, body = text.split(":-", 1)
+        match = _ATOM_RE.match(head)
+        if match:
+            name = match.group(1)
+        elif head.strip():
+            raise ValueError(f"cannot parse head: {head!r}")
+    else:
+        body = text
+    atoms = _parse_atoms(body)
+    return ConjunctiveQuery(atoms, name=name)

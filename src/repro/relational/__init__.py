@@ -1,0 +1,6 @@
+"""Relational substrate: set-semantics relations and database instances."""
+
+from .database import Database
+from .relation import Relation
+
+__all__ = ["Relation", "Database"]

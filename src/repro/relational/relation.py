@@ -1,0 +1,251 @@
+"""In-memory relations with set semantics.
+
+The paper works with relations under set semantics: a relation is a finite
+set of tuples over a fixed list of named attributes.  This module provides
+an immutable :class:`Relation` that deduplicates on construction and offers
+the handful of relational-algebra operations the rest of the library needs
+(projection, selection, renaming) together with cached hash indexes used by
+the join algorithms and the degree-sequence computations.
+
+Values may be any hashable Python objects.  Integer-only relations are the
+common case (graphs, synthetic benchmarks), but domain products
+(:mod:`repro.tightness.normal_relations`) produce tuple-valued attributes,
+so nothing here assumes integers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable relation: a set of tuples over named attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, in column order.  Must be unique.
+    rows:
+        Iterable of tuples (or sequences) of values, one per attribute.
+        Duplicates are removed (set semantics).
+
+    Examples
+    --------
+    >>> r = Relation(("x", "y"), [(1, 2), (1, 3), (1, 2)])
+    >>> len(r)
+    2
+    >>> sorted(r.project(("x",)))
+    [(1,)]
+    """
+
+    __slots__ = ("_attributes", "_rows", "_row_set", "_indexes", "_name")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence] = (),
+        name: str = "",
+    ) -> None:
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attribute names in {attrs!r}")
+        self._attributes = attrs
+        arity = len(attrs)
+        seen = set()
+        materialized = []
+        for row in rows:
+            t = tuple(row)
+            if len(t) != arity:
+                raise ValueError(
+                    f"row {t!r} has arity {len(t)}, expected {arity}"
+                )
+            if t not in seen:
+                seen.add(t)
+                materialized.append(t)
+        self._rows = tuple(materialized)
+        self._row_set = seen
+        self._indexes: dict = {}
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in column order."""
+        return self._attributes
+
+    @property
+    def name(self) -> str:
+        """Optional relation name (used in reports and error messages)."""
+        return self._name
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __contains__(self, row) -> bool:
+        return tuple(row) in self._row_set
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._row_set == other._row_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, frozenset(self._row_set)))
+
+    def __repr__(self) -> str:
+        label = self._name or "Relation"
+        return f"<{label}({', '.join(self._attributes)}): {len(self)} rows>"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Sequence], attributes: Sequence[str] = ("x", "y"),
+        name: str = "",
+    ) -> "Relation":
+        """Build a binary relation (e.g. a graph edge set) from pairs."""
+        attrs = tuple(attributes)
+        if len(attrs) != 2:
+            raise ValueError("from_pairs requires exactly two attributes")
+        return cls(attrs, pairs, name=name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Return a copy with attributes renamed via ``mapping``.
+
+        Attributes not present in ``mapping`` keep their names.
+        """
+        new_attrs = tuple(mapping.get(a, a) for a in self._attributes)
+        out = Relation.__new__(Relation)
+        out._attributes = new_attrs
+        if len(set(new_attrs)) != len(new_attrs):
+            raise ValueError(f"rename produced duplicates: {new_attrs!r}")
+        out._rows = self._rows
+        out._row_set = self._row_set
+        out._indexes = {}
+        out._name = self._name
+        return out
+
+    def with_name(self, name: str) -> "Relation":
+        """Return the same relation carrying a different display name."""
+        out = Relation.__new__(Relation)
+        out._attributes = self._attributes
+        out._rows = self._rows
+        out._row_set = self._row_set
+        out._indexes = self._indexes
+        out._name = name
+        return out
+
+    # ------------------------------------------------------------------
+    # relational algebra
+    # ------------------------------------------------------------------
+    def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        """Column positions of ``attrs`` (raises KeyError if missing)."""
+        pos = []
+        for a in attrs:
+            try:
+                pos.append(self._attributes.index(a))
+            except ValueError:
+                raise KeyError(
+                    f"attribute {a!r} not in {self._attributes!r}"
+                ) from None
+        return tuple(pos)
+
+    def project(self, attrs: Sequence[str]) -> "Relation":
+        """Project onto ``attrs`` (deduplicating)."""
+        pos = self.positions(attrs)
+        rows = {tuple(row[i] for i in pos) for row in self._rows}
+        return Relation(tuple(attrs), rows, name=self._name)
+
+    def select(self, predicate: Callable[[tuple], bool]) -> "Relation":
+        """Keep rows on which ``predicate`` returns true."""
+        return Relation(
+            self._attributes,
+            (row for row in self._rows if predicate(row)),
+            name=self._name,
+        )
+
+    def select_eq(self, attr: str, value) -> "Relation":
+        """Keep rows where column ``attr`` equals ``value`` (uses index)."""
+        index = self.index_on((attr,))
+        return Relation(
+            self._attributes, index.get((value,), ()), name=self._name
+        )
+
+    def restrict_rows(self, rows: Iterable[tuple]) -> "Relation":
+        """Build a relation over the same attributes from given rows."""
+        return Relation(self._attributes, rows, name=self._name)
+
+    # ------------------------------------------------------------------
+    # indexes and statistics helpers
+    # ------------------------------------------------------------------
+    def index_on(self, attrs: Sequence[str]) -> Mapping[tuple, list]:
+        """Hash index: key tuple over ``attrs`` -> list of full rows.
+
+        The index is cached on the relation; relations are immutable so the
+        cache never invalidates.
+        """
+        key = tuple(attrs)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached
+        pos = self.positions(key)
+        index: dict[tuple, list] = defaultdict(list)
+        for row in self._rows:
+            index[tuple(row[i] for i in pos)].append(row)
+        index = dict(index)
+        self._indexes[key] = index
+        return index
+
+    def group_sizes(
+        self, group_attrs: Sequence[str], value_attrs: Sequence[str]
+    ) -> dict[tuple, int]:
+        """Distinct ``value_attrs`` count per ``group_attrs`` value.
+
+        This is the raw material of a degree sequence: for the conditional
+        (V | U) the degree of a U-value u is the number of distinct
+        V-values co-occurring with u in the projection onto U ∪ V.
+
+        An empty ``group_attrs`` yields a single group keyed by ``()``.
+        """
+        gpos = self.positions(group_attrs)
+        vpos = self.positions(value_attrs)
+        groups: dict[tuple, set] = defaultdict(set)
+        for row in self._rows:
+            groups[tuple(row[i] for i in gpos)].add(
+                tuple(row[i] for i in vpos)
+            )
+        return {key: len(values) for key, values in groups.items()}
+
+    def distinct_count(self, attrs: Sequence[str]) -> int:
+        """Number of distinct values in the projection onto ``attrs``."""
+        pos = self.positions(attrs)
+        return len({tuple(row[i] for i in pos) for row in self._rows})
+
+    def active_domain(self) -> set:
+        """All values appearing in any column."""
+        domain = set()
+        for row in self._rows:
+            domain.update(row)
+        return domain
+
+    def column(self, attr: str) -> list:
+        """All values (with repetitions removed row-wise) of one column."""
+        (pos,) = self.positions((attr,))
+        return [row[pos] for row in self._rows]

@@ -1,0 +1,16 @@
+"""Tightness machinery: normal relations and worst-case instances."""
+
+from .normal_relations import (
+    basic_normal_relation,
+    domain_product,
+    normal_relation,
+)
+from .worst_case import WorstCaseInstance, build_worst_case
+
+__all__ = [
+    "basic_normal_relation",
+    "domain_product",
+    "normal_relation",
+    "build_worst_case",
+    "WorstCaseInstance",
+]

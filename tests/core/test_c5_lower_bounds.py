@@ -1,0 +1,153 @@
+"""Mechanisation of Appendix C.5's lower-bound arguments.
+
+C.5 proves that the cycle bounds are *optimal* given their statistics by
+exhibiting feasible polymatroids with large h(X):
+
+* for the {1,∞} statistics (|R| ≤ N, ‖deg‖_∞ ≤ D, D² ≤ N) the normal
+  polymatroid h(W) = log N + (|W|−2)·log D (h(∅)=0, singletons log N − log D
+  …) — realised as (log N − 2 log D)·h_X + log D·Σ h_{X_i} — satisfies the
+  statistics and reaches log N + (p−1)·log D, matching the PANDA bound;
+* for the {1..q,∞} statistics (ℓr^r ≤ L for r ≤ q, ‖deg‖_∞ ≤ D, L ≤ N,
+  L ≤ D^{q+1}) the *modular* polymatroid h(W) = |W|·(log L)/(q+1)
+  satisfies them and reaches (p+1)·log L/(q+1), matching bound (21).
+
+These tests build the witnesses explicitly, verify feasibility against
+the statistics constraints, and check the LP cannot do better — i.e. the
+LP value *equals* the witness value.
+"""
+
+import math
+
+import pytest
+
+from repro.core.conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+from repro.core.lp_bound import lp_bound
+from repro.entropy import modular, normal, step_function
+from repro.experiments.cycle import cycle_query
+
+
+def _cycle_statistics(length, log2_n=None, log2_d=None, lq=None, qs=()):
+    """Statistics on the length-cycle: cardinality, ℓ∞, and ℓq norms."""
+    query = cycle_query(length)
+    stats = []
+    for atom in query.atoms:
+        u, v = atom.variables
+        if log2_n is not None:
+            stats.append(
+                ConcreteStatistic(
+                    AbstractStatistic(Conditional(frozenset({u, v})), 1.0),
+                    log2_n,
+                    atom,
+                )
+            )
+        if log2_d is not None:
+            stats.append(
+                ConcreteStatistic(
+                    AbstractStatistic(
+                        Conditional(frozenset({v}), frozenset({u})), math.inf
+                    ),
+                    log2_d,
+                    atom,
+                )
+            )
+        for q, value in qs:
+            stats.append(
+                ConcreteStatistic(
+                    AbstractStatistic(
+                        Conditional(frozenset({v}), frozenset({u})), q
+                    ),
+                    value,
+                    atom,
+                )
+            )
+    return query, StatisticsSet(stats)
+
+
+def _check_feasible(h, stats, tol=1e-9):
+    for stat in stats:
+        cond = stat.conditional
+        inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
+        value = inv_p * h.h(sorted(cond.u)) + h.conditional(
+            sorted(cond.v), sorted(cond.u)
+        )
+        assert value <= stat.log2_bound + tol, (str(stat), value)
+
+
+class TestOneInfWitness:
+    """The {1,∞} lower bound: h = (logN − 2logD)·h_X + logD·Σ h_{Xi}."""
+
+    @pytest.mark.parametrize("length", [3, 4, 5])
+    def test_witness_feasible_and_matches_lp(self, length):
+        log2_n, log2_d = 12.0, 4.0  # D² ≤ N holds
+        query, stats = _cycle_statistics(
+            length, log2_n=log2_n, log2_d=log2_d
+        )
+        variables = query.variables
+        h = normal(
+            variables,
+            {frozenset(variables): log2_n - 2 * log2_d},
+        )
+        for v in variables:
+            h = h + step_function(variables, [v]).scale(log2_d)
+        _check_feasible(h, stats)
+        expected = log2_n + (length - 2) * log2_d
+        assert h.full == pytest.approx(expected)
+        result = lp_bound(stats, query=query)
+        # witness ⇒ LP ≥ expected; PANDA inequality (52) ⇒ LP ≤ expected
+        assert result.log2_bound == pytest.approx(expected, abs=1e-6)
+
+    def test_witness_is_polymatroid(self):
+        query, _ = _cycle_statistics(4, log2_n=12.0, log2_d=4.0)
+        variables = query.variables
+        h = normal(variables, {frozenset(variables): 4.0})
+        for v in variables:
+            h = h + step_function(variables, [v]).scale(4.0)
+        assert h.is_polymatroid()
+
+
+class TestLqWitness:
+    """The {1..q,∞} lower bound: the modular h(W) = |W|·logL/(q+1)."""
+
+    @pytest.mark.parametrize("length,q", [(3, 2), (4, 3), (5, 4)])
+    def test_witness_feasible_and_matches_lp(self, length, q):
+        # L ≤ N and L ≤ D^{q+1}: choose logL = 10, logN = 10, logD = 10/(q+1)
+        log2_l = 10.0
+        log2_n = 10.0
+        log2_d = log2_l / (q + 1)
+        qs = [(float(r), log2_l / r) for r in range(2, q + 1)]
+        query, stats = _cycle_statistics(
+            length, log2_n=log2_n, log2_d=log2_d, qs=qs
+        )
+        variables = query.variables
+        h = modular(
+            variables, {v: log2_l / (q + 1) for v in variables}
+        )
+        _check_feasible(h, stats)
+        expected = (length) * log2_l / (q + 1)
+        assert h.full == pytest.approx(expected)
+        result = lp_bound(stats, query=query)
+        # bound (21) with the ℓq statistic gives exactly length·logL/(q+1):
+        # each ℓq log-norm is logL/q, weight q/(q+1) per edge
+        assert result.log2_bound == pytest.approx(expected, abs=1e-6)
+
+    def test_paper_punchline_best_q_is_p(self):
+        # with all norms available for the (p+1)-cycle, the LP lands at
+        # (p+1)·logL/(p+1) = logL — the ℓp norm is the binding one
+        p = 3
+        length = p + 1
+        log2_l = 10.0
+        qs = [(float(r), log2_l / r) for r in range(2, p + 1)]
+        query, stats = _cycle_statistics(
+            length,
+            log2_n=log2_l,
+            log2_d=log2_l / (p + 1),
+            qs=qs,
+        )
+        result = lp_bound(stats, query=query)
+        assert result.log2_bound == pytest.approx(log2_l, abs=1e-6)
+        assert float(p) in result.norms_used()

@@ -1,0 +1,70 @@
+"""Unit tests for the precomputed-statistics catalog."""
+
+import math
+
+import pytest
+
+from repro.core import StatisticsCatalog, collect_statistics, lp_bound
+from repro.query import parse_query
+
+
+class TestCaching:
+    def test_sequence_cached(self, graph_db):
+        catalog = StatisticsCatalog(graph_db)
+        first = catalog.sequence("R", ["x"], ["y"])
+        second = catalog.sequence("R", ["x"], ["y"])
+        assert first is second
+        assert catalog.cached_sequences() == 1
+
+    def test_norms_share_one_sequence(self, graph_db):
+        catalog = StatisticsCatalog(graph_db)
+        for p in (1.0, 2.0, 3.0, 17.0, math.inf):
+            catalog.log2_norm("R", ["x"], ["y"], p)
+        assert catalog.cached_sequences() == 1
+        assert catalog.cached_norms() == 5
+
+    def test_norm_values_match_direct(self, graph_db):
+        from repro.core.degree import degree_sequence
+        from repro.core.norms import log2_norm
+
+        catalog = StatisticsCatalog(graph_db)
+        seq = degree_sequence(graph_db["R"], ["x"], ["y"])
+        for p in (1.0, 2.5, math.inf):
+            assert catalog.log2_norm("R", ["x"], ["y"], p) == pytest.approx(
+                log2_norm(seq, p)
+            )
+
+
+class TestStatisticsFor:
+    def test_matches_collect_statistics(self, graph_db, triangle_query):
+        catalog = StatisticsCatalog(graph_db)
+        ps = [1.0, 2.0, 3.0, math.inf]
+        from_catalog = catalog.statistics_for(triangle_query, ps=ps)
+        direct = collect_statistics(triangle_query, graph_db, ps=ps)
+        key = lambda s: (str(s.conditional), s.p, s.guard.relation)
+        a = sorted(((key(s), round(s.log2_bound, 9)) for s in from_catalog))
+        b = sorted(((key(s), round(s.log2_bound, 9)) for s in direct))
+        assert a == b
+
+    def test_bounds_agree_across_queries_sharing_cache(self, graph_db):
+        catalog = StatisticsCatalog(graph_db)
+        q1 = parse_query("Q(x,y,z) :- R(x,y), R(y,z)")
+        q2 = parse_query("Q(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+        ps = [1.0, 2.0, math.inf]
+        b1 = lp_bound(catalog.statistics_for(q1, ps=ps), query=q1)
+        sequences_after_first = catalog.cached_sequences()
+        b2 = lp_bound(catalog.statistics_for(q2, ps=ps), query=q2)
+        # the triangle reuses the one-join's sequences (same conditionals)
+        assert catalog.cached_sequences() == sequences_after_first
+        assert b1.status == b2.status == "optimal"
+        d1 = lp_bound(collect_statistics(q1, graph_db, ps=ps), query=q1)
+        d2 = lp_bound(collect_statistics(q2, graph_db, ps=ps), query=q2)
+        assert b1.log2_bound == pytest.approx(d1.log2_bound)
+        assert b2.log2_bound == pytest.approx(d2.log2_bound)
+
+    def test_repeated_variable_atom_fallback(self, graph_db):
+        catalog = StatisticsCatalog(graph_db)
+        q = parse_query("Q(x,y) :- R(x,x), R(x,y)")
+        stats = catalog.statistics_for(q, ps=[1.0, 2.0])
+        assert len(stats) > 0
+        assert stats.holds_on(graph_db)

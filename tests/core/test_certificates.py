@@ -1,0 +1,60 @@
+"""Unit tests for dual certificates (Theorem 1.1 product form)."""
+
+import math
+
+import pytest
+
+from repro.core import collect_statistics, lp_bound
+from repro.core.certificates import (
+    certificate_gap,
+    product_form,
+    verify_certificate,
+)
+
+
+@pytest.fixture
+def triangle_result(graph_db, triangle_query):
+    stats = collect_statistics(
+        triangle_query, graph_db, ps=[1.0, 2.0, math.inf]
+    )
+    return lp_bound(stats, query=triangle_query)
+
+
+class TestCertificates:
+    def test_verify_at_optimum(self, triangle_result):
+        assert triangle_result.status == "optimal"
+        assert verify_certificate(triangle_result)
+
+    def test_gap_is_tiny(self, triangle_result):
+        assert certificate_gap(triangle_result) < 1e-6
+
+    def test_product_form_mentions_norms(self, triangle_result):
+        text = product_form(triangle_result)
+        assert "||deg_R(" in text
+        assert "^" in text
+
+    def test_witness_inequality_renders(self, triangle_result):
+        text = triangle_result.witness_inequality()
+        assert "≥ h(" in text
+
+    def test_norms_used_subset_of_requested(self, triangle_result):
+        assert set(triangle_result.norms_used()) <= {1.0, 2.0, math.inf}
+
+    def test_used_statistics_weights_positive(self, triangle_result):
+        for _, weight in triangle_result.used_statistics():
+            assert weight > 0
+
+    def test_entropy_vector_is_primal_witness(self, triangle_result):
+        h = triangle_result.entropy_vector()
+        assert h.full == pytest.approx(triangle_result.log2_bound)
+        assert h.is_polymatroid(tol=1e-6)
+
+    def test_gap_raises_without_certificate(self):
+        from repro.core.conditionals import StatisticsSet
+        from repro.core.lp_bound import lp_bound as lb
+
+        unbounded = lb(StatisticsSet([]), variables=("x",), cone="polymatroid")
+        with pytest.raises(ValueError):
+            certificate_gap(unbounded)
+        assert not verify_certificate(unbounded)
+        assert product_form(unbounded) == "1"

@@ -1,0 +1,100 @@
+"""Unit tests for FD/key statistics (the [11,16] connection)."""
+
+import math
+
+import pytest
+
+from repro.core import collect_statistics, lp_bound
+from repro.core.constraints import (
+    fd_statistic,
+    key_statistic,
+    key_statistics_for_query,
+)
+from repro.query import parse_query
+from repro.query.query import Atom
+from repro.relational import Database, Relation
+
+
+@pytest.fixture
+def keyed_db():
+    # T(id, v): id is a key; F(id, w): many w per id
+    t = Relation(("a", "b"), [(i, i % 3) for i in range(8)])
+    f = Relation(("a", "b"), [(i % 8, j) for i in range(8) for j in range(4)])
+    return Database({"T": t, "F": f})
+
+
+class TestFdStatistic:
+    def test_is_linf_with_zero_bound(self):
+        stat = fd_statistic(Atom("T", ("x", "y")), ["x"], ["y"])
+        assert stat.p == math.inf
+        assert stat.log2_bound == 0.0
+        assert stat.bound == 1.0
+
+    def test_holds_on_keyed_data(self, keyed_db):
+        stat = fd_statistic(Atom("T", ("x", "y")), ["x"], ["y"])
+        assert stat.holds_on(keyed_db)
+
+    def test_fails_on_fanout_data(self, keyed_db):
+        stat = fd_statistic(Atom("F", ("x", "y")), ["x"], ["y"])
+        assert not stat.holds_on(keyed_db)
+
+    def test_overlap_trimmed(self):
+        stat = fd_statistic(Atom("T", ("x", "y")), ["x"], ["x", "y"])
+        assert stat.conditional.v == frozenset({"y"})
+
+    def test_vacuous_rejected(self):
+        with pytest.raises(ValueError):
+            fd_statistic(Atom("T", ("x", "y")), ["x", "y"], ["x"])
+
+    def test_empty_dependent_rejected(self):
+        with pytest.raises(ValueError):
+            fd_statistic(Atom("T", ("x", "y")), ["x"], [])
+
+
+class TestKeyStatistic:
+    def test_key_is_fd_to_rest(self):
+        stat = key_statistic(Atom("T", ("x", "y", "z")), ["x"])
+        assert stat.conditional.u == frozenset({"x"})
+        assert stat.conditional.v == frozenset({"y", "z"})
+
+    def test_key_outside_atom_rejected(self):
+        with pytest.raises(ValueError):
+            key_statistic(Atom("T", ("x", "y")), ["z"])
+
+    def test_full_key_rejected(self):
+        with pytest.raises(ValueError):
+            key_statistic(Atom("T", ("x", "y")), ["x", "y"])
+
+
+class TestQueryLevel:
+    def test_statistics_for_query(self, keyed_db):
+        q = parse_query("Q(m,v,w) :- T(m,v), F(m,w)")
+        stats = key_statistics_for_query(q, {"T": [0]})
+        assert len(stats) == 1
+        assert stats.holds_on(keyed_db)
+
+    def test_fd_tightens_the_bound(self, keyed_db):
+        # without the key, |T ⋈ F| bound uses measured stats only;
+        # declaring the key cannot make it worse and the LP stays sound
+        q = parse_query("Q(m,v,w) :- T(m,v), F(m,w)")
+        measured = collect_statistics(q, keyed_db, ps=[1.0])
+        base = lp_bound(measured, query=q)
+        with_key = lp_bound(
+            measured.merged(key_statistics_for_query(q, {"T": [0]})), query=q
+        )
+        assert with_key.log2_bound <= base.log2_bound + 1e-9
+        from repro.evaluation import acyclic_count
+
+        truth = acyclic_count(q, keyed_db)
+        assert with_key.log2_bound >= math.log2(truth) - 1e-9
+
+    def test_key_recovers_pk_fk_bound(self, keyed_db):
+        # with |F| and the T-key, the bound is exactly |F| (PK-FK join)
+        q = parse_query("Q(m,v,w) :- T(m,v), F(m,w)")
+        measured = collect_statistics(q, keyed_db, ps=[1.0])
+        with_key = lp_bound(
+            measured.merged(key_statistics_for_query(q, {"T": [0]})), query=q
+        )
+        assert with_key.log2_bound == pytest.approx(
+            math.log2(len(keyed_db["F"])), abs=1e-6
+        )

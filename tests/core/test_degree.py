@@ -1,0 +1,70 @@
+"""Unit tests for degree sequences (Sec. 1.2 definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree import average_degree, degree_sequence, max_degree
+from repro.relational import Relation
+
+
+@pytest.fixture
+def rel():
+    # y=10 pairs with x ∈ {1,2,3}; y=20 with x=4
+    return Relation(("x", "y"), [(1, 10), (2, 10), (3, 10), (4, 20)])
+
+
+class TestDegreeSequence:
+    def test_sorted_non_increasing(self, rel):
+        seq = degree_sequence(rel, ["x"], ["y"])
+        assert list(seq) == [3, 1]
+
+    def test_other_direction(self, rel):
+        seq = degree_sequence(rel, ["y"], ["x"])
+        assert list(seq) == [1, 1, 1, 1]
+
+    def test_empty_u_gives_distinct_count(self, rel):
+        # deg(V | ∅) is the single value |Π_V(R)| — the paper's convention
+        # that cardinalities are ℓ1 statistics
+        seq = degree_sequence(rel, ["x"])
+        assert list(seq) == [4]
+        seq = degree_sequence(rel, ["y"])
+        assert list(seq) == [2]
+
+    def test_empty_v_behaviour(self, rel):
+        # deg(∅-ish | U): ones, one per distinct U value
+        seq = degree_sequence(rel, [], ["y"])
+        assert list(seq) == [1, 1]
+
+    def test_duplicates_in_projection_collapse(self):
+        r = Relation(("x", "y", "z"), [(1, 10, 0), (1, 10, 1), (1, 20, 0)])
+        # distinct y per x: still 2 (projection semantics)
+        assert list(degree_sequence(r, ["y"], ["x"])) == [2]
+
+    def test_empty_relation(self):
+        r = Relation(("x", "y"), [])
+        assert degree_sequence(r, ["x"], ["y"]).size == 0
+
+    def test_multi_attribute_sides(self):
+        r = Relation(
+            ("a", "b", "c"),
+            [(1, 1, 1), (1, 2, 1), (2, 1, 1), (2, 1, 2)],
+        )
+        seq = degree_sequence(r, ["b", "c"], ["a"])
+        assert list(seq) == [2, 2]
+
+    def test_dtype_is_integer(self, rel):
+        assert degree_sequence(rel, ["x"], ["y"]).dtype == np.int64
+
+
+class TestHelpers:
+    def test_max_degree(self, rel):
+        assert max_degree(rel, ["x"], ["y"]) == 3
+
+    def test_max_degree_empty(self):
+        assert max_degree(Relation(("x", "y"), []), ["x"], ["y"]) == 0
+
+    def test_average_degree(self, rel):
+        assert average_degree(rel, ["x"], ["y"]) == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Relation(("x", "y"), []), ["x"], ["y"]) == 0.0

@@ -1,0 +1,159 @@
+"""Unit tests for the paper's closed-form bounds, cross-checked with the LP.
+
+Each closed form is an instance of Theorem 1.1; the LP optimises over all
+instances, so LP ≤ closed form always, with equality when the paper says
+the formula is optimal for the given statistics.
+"""
+
+import math
+
+import pytest
+
+from repro.core import formulas
+from repro.core.conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+from repro.core.lp_bound import lp_bound
+from repro.query import parse_query
+from repro.query.query import Atom
+
+
+class TestTriangleForms:
+    def test_agm(self):
+        assert formulas.agm_triangle(10, 10, 10) == pytest.approx(15.0)
+
+    def test_eq4(self):
+        assert formulas.triangle_l2(4, 4, 4) == pytest.approx(8.0)
+
+    def test_eq5(self):
+        assert formulas.triangle_l3(3, 3, 10) == pytest.approx(
+            (9 + 9 + 50) / 6
+        )
+
+
+class TestJoinForms:
+    def test_agm(self):
+        assert formulas.join_agm(5, 7) == pytest.approx(12.0)
+
+    def test_panda_takes_min(self):
+        assert formulas.join_panda(10, 12, 2, 3) == pytest.approx(
+            min(12 + 2, 10 + 3)
+        )
+
+    def test_eq18(self):
+        assert formulas.join_l2(4.5, 5.5) == pytest.approx(10.0)
+
+    def test_eq48_special_cases(self):
+        # p=q=2 reduces to Eq. 18 (M exponent vanishes)
+        assert formulas.join_lp_lq_distinct(4, 5, 99, 2, 2) == pytest.approx(9)
+        # p=1, q=∞ reduces to ℓ1·ℓ∞
+        assert formulas.join_lp_lq_distinct(
+            4, 2, 99, 1, math.inf
+        ) == pytest.approx(6)
+
+    def test_eq48_rejects_bad_pq(self):
+        with pytest.raises(ValueError):
+            formulas.join_lp_lq_distinct(1, 1, 1, 1.5, 2)
+
+    def test_eq19_specializations(self):
+        # p=q=2: exponent q/(p(q−1)) = 1 → ℓ2·ℓ2, |S| exponent 0
+        assert formulas.join_lp_lq(4, 5, 99, 2, 2) == pytest.approx(9)
+        # q=∞: exponent 1/p
+        assert formulas.join_lp_lq(4, 8, 6, 2, math.inf) == pytest.approx(
+            4 + 0.5 * 8 + 0.5 * 6
+        )
+
+    def test_eq19_rejects_bad_pq(self):
+        with pytest.raises(ValueError):
+            formulas.join_lp_lq(1, 1, 1, 2, 1.5)
+
+    def test_dsb_gap_certificate_is_eq19_p3_q2(self):
+        l3_r, log2_s, l2_s = 2.0, 9.0, 4.0
+        assert formulas.dsb_gap_certificate(
+            l3_r, log2_s, l2_s
+        ) == pytest.approx(formulas.join_lp_lq(l3_r, l2_s, log2_s, 3, 2))
+
+
+class TestChainAndCycle:
+    def test_chain_requires_p_ge_2(self):
+        with pytest.raises(ValueError):
+            formulas.chain_bound(1, 1, [], 1, 1.5)
+
+    def test_chain_p2_drops_first_factor(self):
+        # p=2: |R1|^0 — bound is (2·ℓ2 + 2·ℓ2)/2
+        assert formulas.chain_bound(99, 3, [], 4, 2) == pytest.approx(
+            (2 * 3 + 2 * 4) / 2
+        )
+
+    def test_cycle_bound_eq21(self):
+        assert formulas.cycle_bound([3, 3, 3], 2) == pytest.approx(6.0)
+
+    def test_cycle_bound_rejects_inf(self):
+        with pytest.raises(ValueError):
+            formulas.cycle_bound([1], math.inf)
+
+    def test_cycle_agm_panda(self):
+        assert formulas.cycle_agm([10, 10, 10]) == pytest.approx(15)
+        assert formulas.cycle_panda(10, 2, 3) == pytest.approx(12)
+
+    def test_loomis_whitney(self):
+        assert formulas.loomis_whitney_l2(3, 8, 3, 8) == pytest.approx(
+            (6 + 8 + 6 + 8) / 4
+        )
+
+
+class TestClosedFormsVsLp:
+    """The LP must match the paper's formula when that formula is optimal."""
+
+    def test_join_l2_matches_lp(self):
+        r_atom, s_atom = Atom("R", ("x", "y")), Atom("S", ("y", "z"))
+        l2 = 4.0
+        stats = StatisticsSet(
+            [
+                ConcreteStatistic(
+                    AbstractStatistic(
+                        Conditional(frozenset("x"), frozenset("y")), 2.0
+                    ),
+                    l2,
+                    r_atom,
+                ),
+                ConcreteStatistic(
+                    AbstractStatistic(
+                        Conditional(frozenset("z"), frozenset("y")), 2.0
+                    ),
+                    l2,
+                    s_atom,
+                ),
+            ]
+        )
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        result = lp_bound(stats, query=q)
+        assert result.log2_bound == pytest.approx(formulas.join_l2(l2, l2))
+
+    def test_cycle_bound_matches_lp(self):
+        from repro.experiments.cycle import cycle_query
+
+        q = cycle_query(4)  # p = 3
+        lq = 5.0
+        stats = []
+        for i, atom in enumerate(q.atoms):
+            stats.append(
+                ConcreteStatistic(
+                    AbstractStatistic(
+                        Conditional(
+                            frozenset({atom.variables[1]}),
+                            frozenset({atom.variables[0]}),
+                        ),
+                        3.0,
+                    ),
+                    lq,
+                    atom,
+                )
+            )
+        result = lp_bound(StatisticsSet(stats), query=q)
+        assert result.log2_bound == pytest.approx(
+            formulas.cycle_bound([lq] * 4, 3)
+        )

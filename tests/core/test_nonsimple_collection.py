@@ -1,0 +1,80 @@
+"""Tests for non-simple (|U| = 2) statistics collection."""
+
+import math
+
+import pytest
+
+from repro.core import collect_statistics, lp_bound
+from repro.evaluation import count_query
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+
+@pytest.fixture
+def ternary_db():
+    # T(a, b, c): c strongly determined by (a, b) pairs but not by either
+    rows = []
+    for a in range(6):
+        for b in range(6):
+            rows.append((a, b, (a * 7 + b) % 5))
+            rows.append((a, b, (a * 7 + b + 1) % 5))
+    return Database({"T": Relation(("x", "y", "z"), rows), "S": Relation(
+        ("x", "y"), [(i % 6, j % 6) for i in range(6) for j in range(6)]
+    )})
+
+
+class TestCollection:
+    def test_default_stays_simple(self, ternary_db):
+        q = parse_query("Q(a,b,c) :- T(a,b,c), S(a,b)")
+        stats = collect_statistics(q, ternary_db, ps=[2.0, math.inf])
+        assert stats.is_simple
+
+    def test_max_u_2_adds_pair_conditionals(self, ternary_db):
+        q = parse_query("Q(a,b,c) :- T(a,b,c), S(a,b)")
+        simple = collect_statistics(q, ternary_db, ps=[2.0, math.inf])
+        wide = collect_statistics(
+            q, ternary_db, ps=[2.0, math.inf], max_u_size=2
+        )
+        assert len(wide) > len(simple)
+        assert not wide.is_simple
+        pair_conds = [s for s in wide if len(s.conditional.u) == 2]
+        assert pair_conds
+        assert all(s.guard.relation == "T" for s in pair_conds)
+
+    def test_invalid_max_u_rejected(self, ternary_db):
+        q = parse_query("Q(a,b,c) :- T(a,b,c)")
+        with pytest.raises(ValueError):
+            collect_statistics(q, ternary_db, max_u_size=3)
+
+    def test_measured_bounds_hold(self, ternary_db):
+        q = parse_query("Q(a,b,c) :- T(a,b,c), S(a,b)")
+        stats = collect_statistics(
+            q, ternary_db, ps=[1.0, 2.0, math.inf], max_u_size=2
+        )
+        assert stats.holds_on(ternary_db)
+
+
+class TestTightening:
+    def test_pair_conditional_tightens_bound(self, ternary_db):
+        # a small R(a,b) restricts the (a,b) pairs; T fans out by only
+        # deg(z | a,b) = 2 per pair, but every *simple* statistic of T sees
+        # degree ≥ 5 — only the non-simple (z | a,b) captures the pairwise
+        # near-determinism, so max_u_size=2 must strictly tighten the bound.
+        small_r = Relation(
+            ("x", "y"), [(i, (3 * i + 1) % 6) for i in range(6)]
+        )
+        db = ternary_db.with_relation("S", small_r)
+        q = parse_query("Q(a,b,c) :- T(a,b,c), S(a,b)")
+        ps = [1.0, 2.0, math.inf]
+        simple = lp_bound(collect_statistics(q, db, ps=ps), query=q)
+        wide = lp_bound(
+            collect_statistics(q, db, ps=ps, max_u_size=2),
+            query=q,
+            cone="polymatroid",
+        )
+        assert wide.cone == "polymatroid"
+        assert wide.log2_bound < simple.log2_bound - 0.5
+        truth = count_query(q, db)
+        assert wide.log2_bound >= math.log2(max(1, truth)) - 1e-6
+        # here the non-simple bound is exactly |S| · max deg(z|ab) = 6·2
+        assert wide.log2_bound == pytest.approx(math.log2(12), abs=1e-6)

@@ -1,0 +1,101 @@
+"""Unit tests for ℓp-norms in log space and Lemma A.1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.norms import (
+    log2_norm,
+    lp_norm,
+    norms_of_sequence,
+    sequence_from_norms,
+)
+
+
+class TestLog2Norm:
+    def test_l1_is_sum(self):
+        assert log2_norm([1, 2, 3], 1.0) == pytest.approx(math.log2(6))
+
+    def test_l2(self):
+        assert log2_norm([3, 4], 2.0) == pytest.approx(math.log2(5))
+
+    def test_linf_is_max(self):
+        assert log2_norm([1, 7, 3], math.inf) == pytest.approx(math.log2(7))
+
+    def test_single_element_all_p_agree(self):
+        for p in (0.5, 1, 2, 10, math.inf):
+            assert log2_norm([5], p) == pytest.approx(math.log2(5))
+
+    def test_empty_sequence(self):
+        assert log2_norm([], 2.0) == -math.inf
+        assert lp_norm([], 2.0) == 0.0
+
+    def test_no_overflow_for_large_p(self):
+        # 10^5 degrees to the 30th power overflow float64; log space must not
+        value = log2_norm([1e5] * 1000, 30.0)
+        expected = math.log2(1e5) + math.log2(1000) / 30.0
+        assert value == pytest.approx(expected)
+
+    def test_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            log2_norm([1.0], 0.0)
+
+    def test_rejects_nonpositive_degrees(self):
+        with pytest.raises(ValueError):
+            log2_norm([1, 0, 2], 1.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            log2_norm(np.ones((2, 2)), 1.0)
+
+    def test_monotone_decreasing_in_p(self):
+        seq = [5, 3, 2, 2, 1, 1, 1]
+        values = [log2_norm(seq, p) for p in (1, 1.5, 2, 3, 8, math.inf)]
+        assert values == sorted(values, reverse=True)
+
+    def test_fractional_p(self):
+        # ℓ_{1/2} of (1, 1): (1 + 1)^2 = 4
+        assert log2_norm([1, 1], 0.5) == pytest.approx(2.0)
+
+
+class TestLinearNorm:
+    def test_matches_direct_computation(self):
+        seq = [4.0, 2.0, 1.0]
+        assert lp_norm(seq, 3.0) == pytest.approx((4**3 + 2**3 + 1) ** (1 / 3))
+
+    def test_norms_of_sequence(self):
+        out = norms_of_sequence([2, 2], [1.0, 2.0, math.inf])
+        assert out[1.0] == pytest.approx(4.0)
+        assert out[2.0] == pytest.approx(math.sqrt(8))
+        assert out[math.inf] == pytest.approx(2.0)
+
+
+class TestLemmaA1:
+    """sequence_from_norms inverts (ℓ1, …, ℓm) — Lemma A.1."""
+
+    @pytest.mark.parametrize(
+        "degrees",
+        [
+            [5.0],
+            [3.0, 1.0],
+            [4.0, 2.0, 1.0],
+            [7.0, 7.0, 2.0],
+            [10.0, 5.0, 3.0, 1.0],
+        ],
+    )
+    def test_roundtrip(self, degrees):
+        norms = [lp_norm(degrees, float(p)) for p in range(1, len(degrees) + 1)]
+        recovered = sequence_from_norms(norms, tol=1e-4)
+        assert np.allclose(recovered, sorted(degrees, reverse=True), atol=1e-5)
+
+    def test_empty(self):
+        assert sequence_from_norms([]).size == 0
+
+    def test_single_norm(self):
+        assert sequence_from_norms([6.0]) == pytest.approx([6.0])
+
+    def test_inconsistent_norms_rejected(self):
+        # ℓ2 > ℓ1 is impossible for non-negative sequences of length 2
+        with pytest.raises(ValueError):
+            sequence_from_norms([2.0, 10.0])

@@ -1,0 +1,126 @@
+"""Unit tests for synthetic data generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.degree import degree_sequence
+from repro.datasets import (
+    alpha_beta_relation,
+    matching_relation,
+    power_law_graph,
+    zipf_values,
+)
+
+
+class TestZipfValues:
+    def test_range_and_count(self):
+        rng = np.random.default_rng(0)
+        values = zipf_values(1000, 50, 1.0, rng)
+        assert values.shape == (1000,)
+        assert values.min() >= 0 and values.max() < 50
+
+    def test_zero_exponent_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        values = zipf_values(20000, 4, 0.0, rng)
+        counts = np.bincount(values, minlength=4)
+        assert counts.min() > 4000
+
+    def test_high_exponent_concentrates(self):
+        rng = np.random.default_rng(0)
+        values = zipf_values(10000, 100, 2.0, rng)
+        top_share = np.mean(values == 0)
+        assert top_share > 0.4
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            zipf_values(10, 0, 1.0, np.random.default_rng(0))
+
+
+class TestPowerLawGraph:
+    def test_deterministic(self):
+        a = power_law_graph(100, 300, 0.7, seed=5)
+        b = power_law_graph(100, 300, 0.7, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = power_law_graph(100, 300, 0.7, seed=5)
+        b = power_law_graph(100, 300, 0.7, seed=6)
+        assert a != b
+
+    def test_symmetric(self):
+        g = power_law_graph(80, 200, 0.6, seed=1)
+        rows = set(g)
+        assert all((y, x) in rows for x, y in rows)
+
+    def test_no_self_loops(self):
+        g = power_law_graph(80, 200, 0.6, seed=1)
+        assert all(x != y for x, y in g)
+
+    def test_asymmetric_option(self):
+        g = power_law_graph(80, 200, 0.6, seed=1, symmetric=False)
+        rows = set(g)
+        assert any((y, x) not in rows for x, y in rows)
+
+    def test_edge_count_close_to_target(self):
+        g = power_law_graph(500, 1000, 0.5, seed=2)
+        assert len(g) == 2000  # both orientations
+
+    def test_skew_grows_with_exponent(self):
+        mild = power_law_graph(500, 1500, 0.2, seed=3)
+        wild = power_law_graph(500, 1500, 1.0, seed=3)
+        mild_max = degree_sequence(mild, ["y"], ["x"])[0]
+        wild_max = degree_sequence(wild, ["y"], ["x"])[0]
+        assert wild_max > 2 * mild_max
+
+
+class TestAlphaBetaRelation:
+    def test_definition_c1_shape(self):
+        m = 729  # 3^6 so m^(1/3) = 9 exactly
+        r = alpha_beta_relation(1 / 3, 1 / 3, m)
+        seq = degree_sequence(r, ["y"], ["x"])
+        heavy = round(m ** (1 / 3))
+        assert list(seq[:heavy]) == [heavy] * heavy
+        assert all(d == 1 for d in seq[heavy:])
+        assert seq.size == m  # M values on the X side
+
+    def test_symmetric_degrees(self):
+        r = alpha_beta_relation(1 / 3, 1 / 3, 729)
+        left = degree_sequence(r, ["y"], ["x"])
+        right = degree_sequence(r, ["x"], ["y"])
+        assert list(left) == list(right)
+
+    def test_zero_alpha_single_heavy(self):
+        m = 729
+        r = alpha_beta_relation(0.0, 1 / 3, m)
+        seq = degree_sequence(r, ["y"], ["x"])
+        assert seq[0] == round(m ** (1 / 3))
+        assert all(d == 1 for d in seq[1:])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            alpha_beta_relation(0.7, 0.7, 100)
+        with pytest.raises(ValueError):
+            alpha_beta_relation(-0.1, 0.5, 100)
+
+    def test_norm_profile(self):
+        # ‖deg‖_q^q = heavy·deg^q + (M − heavy) — Appendix C.5's workhorse
+        from repro.core.norms import lp_norm
+
+        m = 4096
+        r = alpha_beta_relation(0.25, 0.25, m)
+        seq = degree_sequence(r, ["y"], ["x"])
+        heavy = round(m ** 0.25)
+        expected_l2_sq = heavy * heavy**2 + (m - heavy)
+        assert lp_norm(seq, 2.0) == pytest.approx(math.sqrt(expected_l2_sq))
+
+
+class TestMatchingRelation:
+    def test_diagonal(self):
+        r = matching_relation(5)
+        assert set(r) == {(i, i) for i in range(5)}
+
+    def test_custom_attributes(self):
+        r = matching_relation(3, attributes=("u", "v"))
+        assert r.attributes == ("u", "v")

@@ -1,0 +1,111 @@
+"""Unit tests for the SNAP stand-ins, the IMDB substrate and JOB queries."""
+
+import pytest
+
+from repro.datasets import (
+    IMDB_RELATIONS,
+    JOB_QUERIES,
+    JOB_QUERY_IDS,
+    SNAP_SPECS,
+    imdb_database,
+    job_query,
+    load_snap_graph,
+    snap_database,
+)
+from repro.query import is_alpha_acyclic
+
+
+class TestSnap:
+    def test_seven_datasets(self):
+        assert len(SNAP_SPECS) == 7
+        names = {s.name for s in SNAP_SPECS}
+        assert "ca-GrQc" in names and "twitter" in names
+
+    def test_load_named_graph(self):
+        g = load_snap_graph("ca-GrQc")
+        assert g.name == "ca-GrQc"
+        assert g.attributes == ("x", "y")
+        assert len(g) > 1000
+
+    def test_unknown_name_listed(self):
+        with pytest.raises(KeyError, match="ca-GrQc"):
+            load_snap_graph("nope")
+
+    def test_database_wrapper(self):
+        db = snap_database("facebook")
+        assert "R" in db
+
+    def test_deterministic(self):
+        assert load_snap_graph("twitter") == load_snap_graph("twitter")
+
+    def test_social_graphs_more_skewed_than_collaboration(self):
+        from repro.core.degree import degree_sequence
+
+        ca = load_snap_graph("ca-GrQc")
+        soc = load_snap_graph("soc-LiveJournal")
+        ca_top = degree_sequence(ca, ["y"], ["x"])[0] / len(ca)
+        soc_top = degree_sequence(soc, ["y"], ["x"])[0] / len(soc)
+        assert soc_top > ca_top
+
+
+class TestImdb:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return imdb_database(scale=0.1, seed=7)
+
+    def test_all_schema_relations_present(self, db):
+        for name, attrs in IMDB_RELATIONS.items():
+            assert name in db
+            assert db[name].attributes == attrs
+
+    def test_title_primary_key(self, db):
+        title = db["title"]
+        assert title.distinct_count(("mid",)) == len(title)
+
+    def test_deterministic(self):
+        a = imdb_database(scale=0.1, seed=7)
+        b = imdb_database(scale=0.1, seed=7)
+        assert all(a[name] == b[name] for name in a)
+
+    def test_scale_grows_tables(self):
+        small = imdb_database(scale=0.1, seed=7)
+        large = imdb_database(scale=0.4, seed=7)
+        assert large.total_tuples() > 2 * small.total_tuples()
+
+    def test_fk_skew_present(self, db):
+        from repro.core.degree import degree_sequence
+
+        seq = degree_sequence(db["cast_info"], ["pid", "role"], ["mid"])
+        assert seq[0] > 4 * seq[len(seq) // 2]  # top movie ≫ median movie
+
+
+class TestJobQueries:
+    def test_thirty_three_queries(self):
+        assert JOB_QUERY_IDS == tuple(range(1, 34))
+        assert len(JOB_QUERIES) == 33
+
+    def test_all_alpha_acyclic(self):
+        for qid in JOB_QUERY_IDS:
+            assert is_alpha_acyclic(job_query(qid)), qid
+
+    def test_relation_counts_in_figure1_range(self):
+        for qid in JOB_QUERY_IDS:
+            assert 4 <= len(job_query(qid).atoms) <= 14
+
+    def test_schema_consistent(self):
+        db = imdb_database(scale=0.05, seed=7)
+        for qid in JOB_QUERY_IDS:
+            for atom in job_query(qid).atoms:
+                assert db[atom.relation].arity == atom.arity, (qid, atom)
+
+    def test_variable_counts_tractable(self):
+        for qid in JOB_QUERY_IDS:
+            assert job_query(qid).num_variables <= 16
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            job_query(99)
+
+    def test_every_query_names_title(self):
+        for qid in JOB_QUERY_IDS:
+            assert "title" in job_query(qid).relation_names

@@ -1,0 +1,89 @@
+"""Unit tests for group-realizable entropic vectors (Appendix D.2)."""
+
+import math
+
+import pytest
+
+from repro.entropy import (
+    coordinate_subgroup_relation,
+    coset_relation,
+    entropy_of_relation,
+    is_normal,
+    is_totally_uniform,
+    kernel_subgroup,
+)
+
+
+class TestKernelSubgroup:
+    def test_zero_matrix_is_whole_group(self):
+        sub = kernel_subgroup([[0, 0]], m=3, k=2)
+        assert len(sub) == 9
+
+    def test_identity_row_fixes_coordinate(self):
+        sub = kernel_subgroup([[1, 0]], m=3, k=2)
+        assert len(sub) == 3
+        assert all(x[0] == 0 for x in sub)
+
+    def test_parity_kernel(self):
+        sub = kernel_subgroup([[1, 1]], m=2, k=2)
+        assert sub == frozenset({(0, 0), (1, 1)})
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            kernel_subgroup([[1, 0, 0]], m=2, k=2)
+
+
+class TestCosetRelation:
+    def test_entropy_formula(self):
+        # h(U) = log2(|G| / |∩ G_i|): two coordinate subgroups of (Z_2)^2
+        g1 = kernel_subgroup([[1, 0]], m=2, k=2)  # x1 = 0
+        g2 = kernel_subgroup([[0, 1]], m=2, k=2)  # x2 = 0
+        r = coset_relation(("a", "b"), [g1, g2], m=2, k=2)
+        h = entropy_of_relation(r)
+        assert h.h(["a"]) == pytest.approx(1.0)
+        assert h.h(["b"]) == pytest.approx(1.0)
+        assert h.full == pytest.approx(2.0)
+
+    def test_totally_uniform(self):
+        g1 = kernel_subgroup([[1, 0]], m=3, k=2)
+        g2 = kernel_subgroup([[1, 1]], m=3, k=2)
+        r = coset_relation(("a", "b"), [g1, g2], m=3, k=2)
+        assert is_totally_uniform(r)
+
+    def test_parity_vector_is_group_realizable_and_not_normal(self):
+        # the XOR vector: three kernels of (Z_2)^2 — entropic, not normal
+        g1 = kernel_subgroup([[1, 0]], m=2, k=2)
+        g2 = kernel_subgroup([[0, 1]], m=2, k=2)
+        g3 = kernel_subgroup([[1, 1]], m=2, k=2)
+        r = coset_relation(("x", "y", "z"), [g1, g2, g3], m=2, k=2)
+        h = entropy_of_relation(r)
+        assert h.is_polymatroid()
+        assert not is_normal(h)
+        assert h.full == pytest.approx(2.0)
+        for v in ("x", "y", "z"):
+            assert h.h([v]) == pytest.approx(1.0)
+
+    def test_subgroup_count_must_match(self):
+        g = kernel_subgroup([[1, 0]], m=2, k=2)
+        with pytest.raises(ValueError):
+            coset_relation(("a", "b"), [g], m=2, k=2)
+
+
+class TestCoordinateSubgroups:
+    def test_produces_normal_entropy(self):
+        r = coordinate_subgroup_relation(
+            ("a", "b", "c"), [[0], [1], [0, 1]], m=2, k=2
+        )
+        h = entropy_of_relation(r)
+        assert is_normal(h)
+
+    def test_matches_normal_relation_semantics(self):
+        # one coordinate constrained by both variables ⇒ diagonal behaviour
+        r = coordinate_subgroup_relation(("a", "b"), [[0], [0]], m=4, k=1)
+        h = entropy_of_relation(r)
+        assert h.h(["a"]) == pytest.approx(2.0)
+        assert h.full == pytest.approx(2.0)  # a determines b
+
+    def test_coordinate_range_checked(self):
+        with pytest.raises(ValueError):
+            coordinate_subgroup_relation(("a",), [[5]], m=2, k=2)

@@ -1,0 +1,84 @@
+"""Unit tests for derived measures and the modularization lemma."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    conditional_mutual_information,
+    entropy_of_relation,
+    modularize,
+    mutual_information,
+    step_function,
+)
+from repro.relational import Relation
+
+
+@pytest.fixture
+def xor_vector():
+    rows = [(a, b, a ^ b) for a in range(2) for b in range(2)]
+    return entropy_of_relation(Relation(("x", "y", "z"), rows))
+
+
+class TestMutualInformation:
+    def test_independent_variables(self):
+        rows = [(i, j) for i in range(4) for j in range(4)]
+        h = entropy_of_relation(Relation(("x", "y"), rows))
+        assert mutual_information(h, ["x"], ["y"]) == pytest.approx(0.0)
+
+    def test_identical_variables(self):
+        rows = [(i, i) for i in range(8)]
+        h = entropy_of_relation(Relation(("x", "y"), rows))
+        assert mutual_information(h, ["x"], ["y"]) == pytest.approx(3.0)
+
+    def test_xor_pairwise_independent(self, xor_vector):
+        # pairwise independent, jointly dependent: the classic example
+        assert mutual_information(xor_vector, ["x"], ["y"]) == pytest.approx(0)
+        assert mutual_information(xor_vector, ["x"], ["z"]) == pytest.approx(0)
+
+    def test_xor_conditional_dependence(self, xor_vector):
+        # I(x;y|z) = 1: knowing z couples x and y
+        assert conditional_mutual_information(
+            xor_vector, ["x"], ["y"], ["z"]
+        ) == pytest.approx(1.0)
+
+    def test_cmi_nonnegative_on_entropics(self):
+        rows = [(0, 0, 1), (0, 1, 1), (1, 0, 0), (2, 1, 0), (2, 2, 2)]
+        h = entropy_of_relation(Relation(("a", "b", "c"), rows))
+        assert conditional_mutual_information(h, ["a"], ["b"], ["c"]) >= -1e-12
+
+
+class TestModularize:
+    def test_preserves_total_entropy(self, xor_vector):
+        for order in (("x", "y", "z"), ("z", "x", "y")):
+            m = modularize(xor_vector, order)
+            assert m.full == pytest.approx(xor_vector.full)
+
+    def test_dominated_on_all_subsets(self, xor_vector):
+        m = modularize(xor_vector)
+        assert np.all(m.values <= xor_vector.values + 1e-9)
+
+    def test_pairwise_conditionals_dominated(self, xor_vector):
+        order = ("x", "y", "z")
+        m = modularize(xor_vector, order)
+        for i, u in enumerate(order):
+            for v in order[i + 1 :]:
+                assert m.conditional([v], [u]) <= xor_vector.conditional(
+                    [v], [u]
+                ) + 1e-9
+
+    def test_result_is_modular(self, xor_vector):
+        assert modularize(xor_vector).is_modular()
+
+    def test_step_function_modularization(self):
+        h = step_function(("a", "b"), ["a", "b"])
+        m = modularize(h, ("a", "b"))
+        # h(a)=1, h(b|a)=0 → modular (1, 0)
+        assert m.h(["a"]) == pytest.approx(1.0)
+        assert m.h(["b"]) == pytest.approx(0.0)
+        assert m.full == pytest.approx(1.0)
+
+    def test_rejects_bad_order(self, xor_vector):
+        with pytest.raises(ValueError):
+            modularize(xor_vector, ("x", "y"))

@@ -1,0 +1,79 @@
+"""Unit tests for normal-polymatroid decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    EntropyVector,
+    entropy_of_relation,
+    is_normal,
+    modular,
+    normal,
+    normal_coefficients,
+    normal_from_masks,
+    step_function,
+)
+from repro.relational import Relation
+
+
+class TestDecomposition:
+    def test_recovers_single_step(self):
+        h = step_function(("x", "y", "z"), ["x", "y"])
+        coeffs = normal_coefficients(h)
+        assert coeffs == {frozenset({"x", "y"}): 1.0}
+
+    def test_recovers_combination(self):
+        original = {
+            frozenset({"x"}): 1.5,
+            frozenset({"y", "z"}): 0.5,
+            frozenset({"x", "y", "z"}): 2.0,
+        }
+        h = normal(("x", "y", "z"), original)
+        recovered = normal_coefficients(h)
+        assert recovered is not None
+        for key, value in original.items():
+            assert recovered[key] == pytest.approx(value)
+
+    def test_modular_is_normal(self):
+        h = modular(("x", "y"), {"x": 1.0, "y": 2.0})
+        assert is_normal(h)
+
+    def test_zero_is_normal(self):
+        assert is_normal(EntropyVector(("x", "y"), np.zeros(4)))
+
+    def test_non_normal_polymatroid_detected(self):
+        # the "parity" entropic vector: x, y uniform bits, z = x XOR y.
+        # It is entropic (hence polymatroid) but NOT normal.
+        r = Relation(
+            ("x", "y", "z"),
+            [(a, b, a ^ b) for a in range(2) for b in range(2)],
+        )
+        h = entropy_of_relation(r)
+        assert h.is_polymatroid()
+        assert not is_normal(h)
+
+    def test_non_polymatroid_not_normal(self):
+        v = EntropyVector(("x", "y"), np.array([0.0, 2.0, 2.0, 5.0]))
+        assert not is_normal(v)
+
+    def test_normal_from_masks(self):
+        h = normal_from_masks(("x", "y"), {0b01: 1.0, 0b11: 2.0})
+        assert h.h(["x"]) == pytest.approx(3.0)
+        assert h.h(["y"]) == pytest.approx(2.0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_normal_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        variables = ("a", "b", "c")
+        coeffs = {}
+        for mask in range(1, 8):
+            if rng.random() < 0.6:
+                w = frozenset(v for i, v in enumerate(variables) if mask >> i & 1)
+                coeffs[w] = float(rng.uniform(0.1, 3.0))
+        h = normal(variables, coeffs)
+        recovered = normal_coefficients(h)
+        assert recovered is not None
+        reconstructed = normal(variables, recovered)
+        assert np.allclose(reconstructed.values, h.values)

@@ -1,0 +1,76 @@
+"""Unit tests for the elemental Shannon inequality generator."""
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    count_elemental,
+    elemental_inequalities,
+    entropy_of_relation,
+    shannon_violations,
+    step_function,
+)
+from repro.relational import Relation
+
+
+class TestCounts:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (2, 3), (3, 9), (4, 28), (5, 85)]
+    )
+    def test_count_formula(self, n, expected):
+        assert count_elemental(n) == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_matrix_row_count_matches(self, n):
+        assert elemental_inequalities(n).shape == (count_elemental(n), 1 << n)
+
+
+class TestValidity:
+    def test_zero_vector_satisfies_all(self):
+        assert shannon_violations(np.zeros(8)) == 0
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_step_functions_satisfy_all(self, n):
+        variables = tuple(f"v{i}" for i in range(n))
+        for mask in range(1, 1 << n):
+            w = [variables[i] for i in range(n) if mask >> i & 1]
+            h = step_function(variables, w)
+            assert shannon_violations(h.values) == 0
+
+    def test_entropies_satisfy_all(self):
+        r = Relation(
+            ("x", "y", "z"),
+            [(0, 0, 0), (0, 1, 0), (1, 1, 1), (2, 0, 1), (2, 2, 2)],
+        )
+        assert shannon_violations(entropy_of_relation(r).values) == 0
+
+    def test_violation_detected(self):
+        # h(xy) > h(x) + h(y): violates submodularity at S = ∅
+        values = np.array([0.0, 1.0, 1.0, 3.0])
+        assert shannon_violations(values) > 0
+
+    def test_monotonicity_violation_detected(self):
+        values = np.array([0.0, 5.0, 1.0, 1.0])  # h(x) > h(xy)
+        assert shannon_violations(values) > 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            shannon_violations(np.zeros(6))
+
+
+class TestMatrixStructure:
+    def test_empty_column_zeroed(self):
+        a = elemental_inequalities(3)
+        assert a[:, 0].count_nonzero() == 0
+
+    def test_agreement_with_is_polymatroid(self):
+        rng = np.random.default_rng(5)
+        variables = ("a", "b", "c")
+        from repro.entropy import EntropyVector
+
+        for _ in range(25):
+            values = np.concatenate([[0.0], rng.uniform(0, 2, size=7)])
+            # make roughly monotone so some pass, some fail
+            vec_ok = shannon_violations(values) == 0
+            is_poly = EntropyVector(variables, values).is_polymatroid()
+            assert vec_ok == is_poly

@@ -1,0 +1,160 @@
+"""Unit tests for entropy vectors and their constructors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    EntropyVector,
+    entropy_of_relation,
+    is_totally_uniform,
+    modular,
+    normal,
+    step_function,
+)
+from repro.relational import Relation
+
+
+class TestEntropyVector:
+    def test_rejects_nonzero_empty_set(self):
+        with pytest.raises(ValueError, match="h\\(∅\\)"):
+            EntropyVector(("x",), np.array([1.0, 1.0]))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            EntropyVector(("x", "y"), np.zeros(3))
+
+    def test_h_and_conditional(self):
+        v = EntropyVector(("x", "y"), np.array([0.0, 1.0, 2.0, 2.5]))
+        assert v.h(["x"]) == 1.0
+        assert v.h(["x", "y"]) == 2.5
+        assert v.conditional(["y"], ["x"]) == pytest.approx(1.5)
+        assert v.full == 2.5
+
+    def test_mask_roundtrip(self):
+        v = EntropyVector(("a", "b", "c"), np.zeros(8))
+        mask = v.mask(["a", "c"])
+        assert v.subset_of_mask(mask) == frozenset({"a", "c"})
+
+    def test_addition_and_scaling(self):
+        s = step_function(("x", "y"), ["x"])
+        t = step_function(("x", "y"), ["y"])
+        total = s + t
+        assert total.h(["x", "y"]) == 2.0
+        assert s.scale(3.0).h(["x"]) == 3.0
+
+    def test_addition_rejects_mismatched_variables(self):
+        with pytest.raises(ValueError):
+            step_function(("x",), ["x"]) + step_function(("y",), ["y"])
+
+
+class TestStepFunction:
+    def test_definition(self):
+        h = step_function(("x", "y", "z"), ["x", "y"])
+        assert h.h(["x"]) == 1.0
+        assert h.h(["z"]) == 0.0
+        assert h.h(["y", "z"]) == 1.0
+        assert h.h(["x", "y", "z"]) == 1.0
+
+    def test_rejects_empty_w(self):
+        with pytest.raises(ValueError):
+            step_function(("x",), [])
+
+    def test_step_functions_are_polymatroids(self):
+        for w in (["x"], ["y"], ["x", "z"], ["x", "y", "z"]):
+            assert step_function(("x", "y", "z"), w).is_polymatroid()
+
+
+class TestModularNormal:
+    def test_modular_sums_singletons(self):
+        h = modular(("x", "y"), {"x": 2.0, "y": 3.0})
+        assert h.h(["x", "y"]) == 5.0
+        assert h.is_modular()
+
+    def test_modular_defaults_to_zero(self):
+        h = modular(("x", "y"), {"x": 1.0})
+        assert h.h(["y"]) == 0.0
+
+    def test_normal_combination(self):
+        h = normal(
+            ("x", "y"),
+            {frozenset({"x"}): 1.0, frozenset({"x", "y"}): 2.0},
+        )
+        assert h.h(["x"]) == 3.0
+        assert h.h(["y"]) == 2.0
+        assert h.h(["x", "y"]) == 3.0
+        assert h.is_polymatroid()
+
+    def test_normal_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normal(("x",), {frozenset({"x"}): -1.0})
+
+    def test_step_is_not_modular(self):
+        h = step_function(("x", "y"), ["x", "y"])
+        assert not h.is_modular()
+
+
+class TestIsPolymatroid:
+    def test_zero_vector(self):
+        assert EntropyVector(("x", "y"), np.zeros(4)).is_polymatroid()
+
+    def test_monotonicity_violation(self):
+        # h(x) = 2 > h(xy) = 1
+        v = EntropyVector(("x", "y"), np.array([0.0, 2.0, 1.0, 1.0]))
+        assert not v.is_polymatroid()
+
+    def test_submodularity_violation(self):
+        # h(xy) + h(∅) > h(x) + h(y)
+        v = EntropyVector(("x", "y"), np.array([0.0, 1.0, 1.0, 3.0]))
+        assert not v.is_polymatroid()
+
+
+class TestEntropyOfRelation:
+    def test_uniform_product(self):
+        r = Relation(("x", "y"), [(i, j) for i in range(4) for j in range(2)])
+        h = entropy_of_relation(r)
+        assert h.h(["x"]) == pytest.approx(2.0)
+        assert h.h(["y"]) == pytest.approx(1.0)
+        assert h.full == pytest.approx(3.0)
+
+    def test_diagonal(self):
+        r = Relation(("x", "y"), [(i, i) for i in range(8)])
+        h = entropy_of_relation(r)
+        assert h.h(["x"]) == pytest.approx(3.0)
+        assert h.full == pytest.approx(3.0)
+
+    def test_skewed_marginal_below_log_support(self):
+        r = Relation(("x", "y"), [(0, j) for j in range(7)] + [(1, 7)])
+        h = entropy_of_relation(r)
+        assert h.h(["x"]) < 1.0  # skew: entropy below log2(2)=1
+
+    def test_empirical_entropy_is_entropic_hence_polymatroid(self):
+        r = Relation(
+            ("x", "y", "z"),
+            [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0), (1, 1, 1)],
+        )
+        assert entropy_of_relation(r).is_polymatroid()
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_of_relation(Relation(("x",), []))
+
+    def test_variable_subset(self):
+        r = Relation(("x", "y"), [(0, 1), (1, 0)])
+        h = entropy_of_relation(r, variables=("y",))
+        assert h.full == pytest.approx(1.0)
+
+
+class TestTotalUniformity:
+    def test_product_is_totally_uniform(self):
+        r = Relation(("x", "y"), [(i, j) for i in range(3) for j in range(3)])
+        assert is_totally_uniform(r)
+
+    def test_diagonal_is_totally_uniform(self):
+        r = Relation(("x", "y"), [(i, i) for i in range(5)])
+        assert is_totally_uniform(r)
+
+    def test_skewed_is_not(self):
+        r = Relation(("x", "y"), [(0, 0), (0, 1), (1, 0)])
+        assert not is_totally_uniform(r)

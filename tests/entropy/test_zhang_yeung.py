@@ -1,0 +1,79 @@
+"""Unit tests for the Zhang–Yeung inequality and the Fig. 2 polymatroid."""
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    FIGURE2_VARIABLES,
+    entropy_of_relation,
+    figure2_polymatroid,
+    shannon_violations,
+    zhang_yeung_coefficients,
+)
+from repro.relational import Relation
+
+
+class TestCoefficients:
+    def test_shape(self):
+        c = zhang_yeung_coefficients(FIGURE2_VARIABLES)
+        assert c.shape == (16,)
+        # the coefficients must sum to the paper's expansion totals
+        assert c.sum() == pytest.approx(3 - 2 - 2 - 4 - 1 + 3 + 3 + 1 + 1 - 1 - 1)
+
+    def test_rejects_unknown_variable(self):
+        with pytest.raises(KeyError):
+            zhang_yeung_coefficients(("A", "B", "X", "Y"), a="Z")
+
+    def test_rejects_duplicate_roles(self):
+        with pytest.raises(ValueError):
+            zhang_yeung_coefficients(("A", "B", "X", "Y"), a="A", b="A")
+
+    def test_role_permutation_changes_vector(self):
+        base = zhang_yeung_coefficients(FIGURE2_VARIABLES)
+        swapped = zhang_yeung_coefficients(
+            FIGURE2_VARIABLES, a="B", b="A", x="X", y="Y"
+        )
+        assert not np.allclose(base, swapped)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_holds_for_random_entropic_vectors(self, seed):
+        # ZY is valid on Γ*_4: check on empirical entropies of random relations
+        rng = np.random.default_rng(seed)
+        rows = {
+            tuple(rng.integers(0, 3, size=4)) for _ in range(rng.integers(3, 20))
+        }
+        r = Relation(FIGURE2_VARIABLES, rows)
+        h = entropy_of_relation(r)
+        c = zhang_yeung_coefficients(FIGURE2_VARIABLES)
+        assert float(c @ h.values) >= -1e-9
+
+    def test_holds_for_group_style_relations(self):
+        # the XOR construction stresses the non-Shannon territory
+        rows = [
+            (a, b, a ^ b, (a + b) % 4)
+            for a in range(4)
+            for b in range(4)
+        ]
+        h = entropy_of_relation(Relation(FIGURE2_VARIABLES, rows))
+        c = zhang_yeung_coefficients(FIGURE2_VARIABLES)
+        assert float(c @ h.values) >= -1e-9
+
+
+class TestFigure2:
+    def test_is_polymatroid(self):
+        h = figure2_polymatroid()
+        assert shannon_violations(h.values) == 0
+
+    def test_lattice_values(self):
+        h = figure2_polymatroid()
+        assert h.h(["A"]) == 2.0
+        assert h.h(["A", "B"]) == 4.0
+        assert h.h(["A", "X"]) == 3.0
+        assert h.h(["X", "Y"]) == 3.0
+        assert h.h(["A", "B", "X", "Y"]) == 4.0
+
+    def test_violates_zhang_yeung(self):
+        # the punchline of Appendix D.2: a polymatroid outside Γ*_4
+        h = figure2_polymatroid()
+        c = zhang_yeung_coefficients(FIGURE2_VARIABLES)
+        assert float(c @ h.values) == pytest.approx(-1.0)

@@ -1,0 +1,77 @@
+"""Unit and property tests for dominating degree-sequence compression."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.norms import log2_norm
+from repro.estimators.compression import (
+    compress_sequence,
+    compression_error_log2,
+)
+from repro.estimators.dsb import dsb_pair
+
+
+class TestCompressSequence:
+    def test_dominates_pointwise(self):
+        seq = [9, 7, 5, 5, 3, 2, 1, 1, 1, 1]
+        out = compress_sequence(seq, 3)
+        assert np.all(out >= np.sort(np.asarray(seq, float))[::-1])
+
+    def test_segment_budget(self):
+        seq = list(range(100, 0, -1))
+        out = compress_sequence(seq, 4)
+        assert len(set(out.tolist())) <= 4
+
+    def test_enough_segments_is_lossless(self):
+        seq = [8, 4, 2, 1]
+        out = compress_sequence(seq, 10)
+        assert np.allclose(out, [8, 4, 2, 1])
+
+    def test_single_segment_is_max(self):
+        out = compress_sequence([5, 3, 1], 1)
+        assert np.allclose(out, [5, 5, 5])
+
+    def test_empty(self):
+        assert compress_sequence([], 3).size == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compress_sequence([1], 0)
+        with pytest.raises(ValueError):
+            compress_sequence([-1], 2)
+
+
+class TestSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(1, 200), min_size=1, max_size=60),
+        st.integers(1, 6),
+        st.sampled_from([1.0, 2.0, 3.0, math.inf]),
+    )
+    def test_norms_dominate(self, degrees, segments, p):
+        assert compression_error_log2(degrees, segments, p) >= -1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=40),
+        st.lists(st.integers(1, 100), min_size=1, max_size=40),
+        st.integers(1, 5),
+    )
+    def test_dsb_on_compression_dominates(self, a, b, segments):
+        exact = dsb_pair(a, b)
+        compressed = dsb_pair(
+            compress_sequence(a, segments), compress_sequence(b, segments)
+        )
+        assert compressed >= exact - 1e-6
+
+    def test_error_shrinks_with_segments(self):
+        rng = np.random.default_rng(3)
+        seq = np.sort(rng.zipf(1.8, size=500).astype(float))[::-1]
+        errors = [
+            compression_error_log2(seq, k, 2.0) for k in (1, 2, 4, 8, 16)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] < errors[0]

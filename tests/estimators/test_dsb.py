@@ -1,0 +1,101 @@
+"""Unit tests for the Degree Sequence Bound."""
+
+import pytest
+
+from repro.estimators import dsb_chain, dsb_pair, dsb_single_join
+from repro.evaluation import acyclic_count
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+
+class TestDsbPair:
+    def test_rank_aligned_product(self):
+        assert dsb_pair([3, 1], [2, 2]) == pytest.approx(3 * 2 + 1 * 2)
+
+    def test_sorts_inputs(self):
+        assert dsb_pair([1, 3], [2, 2]) == dsb_pair([3, 1], [2, 2])
+
+    def test_uneven_lengths_truncate(self):
+        assert dsb_pair([5, 1, 1], [2]) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert dsb_pair([], [1, 2]) == 0.0
+
+
+class TestDsbSingleJoin:
+    def test_oracle_on_small_instance(self, two_table_db, one_join_query):
+        bound = dsb_single_join(one_join_query, two_table_db)
+        truth = acyclic_count(one_join_query, two_table_db)
+        assert bound >= truth
+
+    def test_exact_on_aligned_instance(self):
+        # degree sequences align rank-by-rank on the same y values
+        r = Relation(("x", "y"), [(i, 0) for i in range(3)] + [(9, 1)])
+        s = Relation(("y", "z"), [(0, j) for j in range(2)] + [(1, 7)])
+        db = Database({"R": r, "S": s})
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        assert dsb_single_join(q, db) == pytest.approx(3 * 2 + 1 * 1)
+        assert acyclic_count(q, db) == 7
+
+    def test_requires_two_atoms(self, graph_db, triangle_query):
+        with pytest.raises(ValueError):
+            dsb_single_join(triangle_query, graph_db)
+
+    def test_requires_single_shared_variable(self):
+        q = parse_query("Q(x,y) :- R(x,y), S(x,y)")
+        db = Database(
+            {
+                "R": Relation(("a", "b"), [(1, 2)]),
+                "S": Relation(("a", "b"), [(1, 2)]),
+            }
+        )
+        with pytest.raises(ValueError):
+            dsb_single_join(q, db)
+
+    def test_dsb_beats_l2_bound(self, two_table_db, one_join_query):
+        # DSB ≤ ℓ2·ℓ2 (they are the two sides of Cauchy–Schwartz)
+        import math
+
+        from repro.core import collect_statistics, lp_bound
+
+        stats = collect_statistics(one_join_query, two_table_db, ps=[2.0])
+        l2 = lp_bound(
+            stats.restrict_ps([2.0]), query=one_join_query
+        ).log2_bound
+        assert math.log2(dsb_single_join(one_join_query, two_table_db)) <= l2 + 1e-9
+
+
+class TestDsbChain:
+    def _chain_db(self):
+        r1 = Relation(("a", "b"), [(i, i % 3) for i in range(9)])
+        r2 = Relation(("a", "b"), [(i % 3, i) for i in range(7)])
+        r3 = Relation(("a", "b"), [(i, i % 2) for i in range(7)])
+        return Database({"R1": r1, "R2": r2, "R3": r3})
+
+    def test_two_atom_chain_matches_single_join(self):
+        db = self._chain_db()
+        chain_q = parse_query("Q(x1,x2,x3) :- R1(x1,x2), R2(x2,x3)")
+        assert dsb_chain(chain_q, db) == pytest.approx(
+            dsb_single_join(chain_q, db)
+        )
+
+    def test_three_atom_chain_dominates_truth(self):
+        db = self._chain_db()
+        q = parse_query("Q(a,b,c,d) :- R1(a,b), R2(b,c), R3(c,d)")
+        assert dsb_chain(q, db) >= acyclic_count(q, db)
+
+    def test_rejects_cyclic(self, graph_db, triangle_query):
+        with pytest.raises(ValueError):
+            dsb_chain(triangle_query, graph_db)
+
+    def test_rejects_non_chain_shape(self):
+        db = self._chain_db()
+        q = parse_query("Q(a,b,c) :- R1(a,b), R2(c,b)")  # wrong orientation
+        with pytest.raises(ValueError):
+            dsb_chain(q, db)
+
+    def test_rejects_non_binary(self):
+        db = Database({"T": Relation(("a", "b", "c"), [(1, 2, 3)])})
+        q = parse_query("Q(a,b,c) :- T(a,b,c)")
+        with pytest.raises(ValueError):
+            dsb_chain(q, db)

@@ -1,0 +1,94 @@
+"""Unit tests for the Appendix B analysis of [14]."""
+
+import math
+
+import pytest
+
+from repro.datasets import matching_relation
+from repro.estimators.jayaraman import jayaraman_bound, jayaraman_statistics
+from repro.evaluation import count_query
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+
+class TestExampleB1:
+    """The 2-cycle counterexample: girth 2 < p + 1 = 3 breaks soundness."""
+
+    @pytest.fixture
+    def setup(self):
+        diag = matching_relation(64)
+        db = Database({"R": diag, "S": diag})
+        q = parse_query("Q(u,v) :- R(u,v), S(v,u)")
+        return db, q
+
+    def test_raw_lp_claims_n_to_two_thirds(self, setup):
+        db, q = setup
+        res = jayaraman_bound(q, db, p=2.0)
+        # L = sqrt(N) per edge; x = 2/3 each → bound N^{2/3}
+        assert res.log2_bound_modular == pytest.approx(
+            (2 / 3) * math.log2(64), abs=1e-6
+        )
+
+    def test_true_output_exceeds_raw_claim(self, setup):
+        db, q = setup
+        res = jayaraman_bound(q, db, p=2.0)
+        truth = count_query(q, db)  # = N = 64
+        assert truth == 64
+        assert 2 ** res.log2_bound_modular < truth  # unsound!
+        assert not res.sound
+
+    def test_girth_condition_flags_inapplicability(self, setup):
+        db, q = setup
+        res = jayaraman_bound(q, db, p=2.0)
+        assert res.girth == 2
+        assert not res.applicable
+
+    def test_polymatroid_value_is_sound(self, setup):
+        db, q = setup
+        res = jayaraman_bound(q, db, p=2.0)
+        truth = count_query(q, db)
+        assert 2 ** res.log2_bound_polymatroid >= truth - 1e-6
+
+
+class TestTheoremB2:
+    """When girth ≥ p + 1 the modular and polymatroid values coincide."""
+
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_triangle_girth3_sound_for_p2(self, graph_db, triangle_query, p):
+        res = jayaraman_bound(triangle_query, graph_db, p=p)
+        assert res.girth == 3
+        assert res.applicable  # 3 ≥ p + 1 for p ≤ 2
+        assert res.log2_bound_modular == pytest.approx(
+            res.log2_bound_polymatroid, abs=1e-5
+        )
+        assert res.sound
+
+    def test_triangle_p3_not_applicable(self, graph_db, triangle_query):
+        # the paper: girth 3 query cannot use ℓ3 through [14]
+        res = jayaraman_bound(triangle_query, graph_db, p=3.0)
+        assert not res.applicable
+
+    def test_path_always_applicable(self, graph_db):
+        q = parse_query("Q(a,b,c) :- R(a,b), R(b,c)")
+        res = jayaraman_bound(q, graph_db, p=5.0)
+        assert res.girth == math.inf
+        assert res.applicable
+        assert res.sound
+
+    def test_bound_dominates_truth_when_applicable(self, graph_db, triangle_query):
+        res = jayaraman_bound(triangle_query, graph_db, p=2.0)
+        truth = count_query(triangle_query, graph_db)
+        assert 2 ** res.log2_bound_modular >= truth
+
+
+class TestStatistics:
+    def test_one_statistic_per_atom(self, graph_db, triangle_query):
+        stats = jayaraman_statistics(triangle_query, graph_db, 2.0)
+        assert len(stats) == 3
+        assert all(s.p == 2.0 for s in stats)
+
+    def test_rejects_non_binary(self):
+        db = Database({"T": Relation(("a", "b", "c"), [(1, 2, 3)])})
+        q = parse_query("Q(a,b,c) :- T(a,b,c)")
+        with pytest.raises(ValueError, match="binary"):
+            jayaraman_statistics(q, db, 2.0)

@@ -1,0 +1,57 @@
+"""Unit tests for the PANDA ({1,∞}) bound."""
+
+import math
+
+import pytest
+
+from repro.core import collect_statistics, lp_bound
+from repro.estimators import agm_bound, panda_bound
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+
+class TestPanda:
+    def test_never_worse_than_agm(self, graph_db, triangle_query):
+        panda = panda_bound(triangle_query, graph_db)
+        agm = agm_bound(triangle_query, graph_db)
+        assert panda.log2_bound <= agm + 1e-9
+
+    def test_matches_eq17_on_single_join(self):
+        # R: one y value with 8 x's; S: y fans out to 4 z's
+        r = Relation(("x", "y"), [(i, 0) for i in range(8)])
+        s = Relation(("y", "z"), [(0, j) for j in range(4)])
+        db = Database({"R": r, "S": s})
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        result = panda_bound(q, db)
+        # Eq. 17: min(|S|·max_deg_R(x|y), |R|·max_deg_S(z|y))
+        expected = math.log2(min(4 * 8, 8 * 4))
+        assert result.log2_bound == pytest.approx(expected)
+
+    def test_uses_infinity_norm(self, graph_db, triangle_query):
+        result = panda_bound(triangle_query, graph_db)
+        assert set(result.norms_used()) <= {1.0, math.inf}
+
+    def test_restricts_supplied_statistics(self, graph_db, triangle_query):
+        rich = collect_statistics(
+            triangle_query, graph_db, ps=[1.0, 2.0, 7.0, math.inf]
+        )
+        result = panda_bound(triangle_query, graph_db, statistics=rich)
+        assert set(result.norms_used()) <= {1.0, math.inf}
+        # and must equal the self-collected version
+        fresh = panda_bound(triangle_query, graph_db)
+        assert result.log2_bound == pytest.approx(fresh.log2_bound)
+
+    def test_dominates_truth(self, two_table_db, one_join_query):
+        from repro.evaluation import acyclic_count
+
+        truth = acyclic_count(one_join_query, two_table_db)
+        result = panda_bound(one_join_query, two_table_db)
+        assert result.bound >= truth
+
+    def test_full_lp_never_worse_than_panda(self, graph_db, triangle_query):
+        stats = collect_statistics(
+            triangle_query, graph_db, ps=[1.0, 2.0, math.inf]
+        )
+        full = lp_bound(stats, query=triangle_query)
+        panda = panda_bound(triangle_query, graph_db, statistics=stats)
+        assert full.log2_bound <= panda.log2_bound + 1e-9

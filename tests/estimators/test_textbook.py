@@ -1,0 +1,71 @@
+"""Unit tests for the textbook (DuckDB-style) estimator."""
+
+import math
+
+import pytest
+
+from repro.estimators import textbook_estimate, textbook_estimate_log2
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+
+class TestFormula15:
+    def test_single_join_matches_eq15(self):
+        r = Relation(("x", "y"), [(i, i % 4) for i in range(16)])
+        s = Relation(("y", "z"), [(j % 2, j) for j in range(8)])
+        db = Database({"R": r, "S": s})
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        # |R|·|S| / max(V(R,y)=4, V(S,y)=2) = 16·8/4
+        assert textbook_estimate(q, db) == pytest.approx(32.0)
+
+    def test_exact_on_uniform_independent_data(self):
+        # uniform keys, independent: the estimator's home turf
+        r = Relation(("x", "y"), [(i, i % 4) for i in range(8)])
+        s = Relation(("y", "z"), [(j % 4, j) for j in range(8)])
+        db = Database({"R": r, "S": s})
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        from repro.evaluation import acyclic_count
+
+        assert textbook_estimate(q, db) == pytest.approx(
+            acyclic_count(q, db)
+        )
+
+    def test_empty_relation_estimates_zero(self):
+        db = Database(
+            {"R": Relation(("x", "y"), []), "S": Relation(("y", "z"), [(0, 1)])}
+        )
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        assert textbook_estimate(q, db) == 0.0
+        assert textbook_estimate_log2(q, db) == -math.inf
+
+
+class TestFailureDirections:
+    """The paper's observed double failure (Appendix C.1/C.2)."""
+
+    def test_underestimates_skewed_acyclic_join(self, graph_db):
+        from repro.evaluation import acyclic_count
+
+        q = parse_query("Q(x,y,z) :- R(x,y), R(y,z)")
+        truth = acyclic_count(q, graph_db)
+        estimate = textbook_estimate(q, graph_db)
+        assert estimate < truth  # correlation through skew is missed
+
+    def test_overestimates_cyclic_triangle(self, graph_db, triangle_query):
+        from repro.evaluation import count_query
+
+        truth = count_query(triangle_query, graph_db)
+        estimate = textbook_estimate(triangle_query, graph_db)
+        assert estimate > truth  # the cycle-closing predicate is undercounted
+
+    def test_single_relation_estimate_is_size(self, graph_db):
+        q = parse_query("Q(x,y) :- R(x,y)")
+        assert textbook_estimate(q, graph_db) == pytest.approx(
+            len(graph_db["R"])
+        )
+
+    def test_not_an_upper_bound(self, graph_db):
+        # sanity of the framing: unlike lp_bound, this can be below truth
+        from repro.evaluation import acyclic_count
+
+        q = parse_query("Q(x,y,z) :- R(x,y), R(y,z)")
+        assert textbook_estimate(q, graph_db) < acyclic_count(q, graph_db)

@@ -1,0 +1,98 @@
+"""Unit tests for the join-tree counting algorithm."""
+
+import pytest
+
+from repro.evaluation import acyclic_count, count_query, join_tree
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+
+class TestJoinTree:
+    def test_path_tree(self):
+        q = parse_query("R(a,b), S(b,c), T(c,d)")
+        tree = join_tree(q)
+        assert len(tree) == 3
+        assert tree[-1][1] is None  # root last
+        # every non-root's parent appears later in the order
+        positions = {atom: i for i, (atom, _) in enumerate(tree)}
+        for atom, parent in tree[:-1]:
+            assert positions[parent] > positions[atom]
+
+    def test_cyclic_rejected(self, triangle_query):
+        with pytest.raises(ValueError, match="acyclic"):
+            join_tree(triangle_query)
+
+    def test_single_atom(self):
+        tree = join_tree(parse_query("R(x,y)"))
+        assert tree == [(0, None)]
+
+
+class TestCounts:
+    def test_matches_wcoj_one_join(self, two_table_db, one_join_query):
+        assert acyclic_count(one_join_query, two_table_db) == count_query(
+            one_join_query, two_table_db
+        )
+
+    def test_matches_wcoj_on_star(self, graph_db):
+        q = parse_query("Q(m,a,b,c) :- R(m,a), R(m,b), R(m,c)")
+        assert acyclic_count(q, graph_db) == count_query(q, graph_db)
+
+    def test_matches_wcoj_on_path(self, graph_db):
+        q = parse_query("Q(a,b,c,d) :- R(a,b), R(b,c), R(c,d)")
+        assert acyclic_count(q, graph_db) == count_query(q, graph_db)
+
+    def test_matches_wcoj_with_unary_atoms(self):
+        db = Database(
+            {
+                "R": Relation(("a", "b"), [(1, 2), (2, 3), (3, 4)]),
+                "S": Relation(("a",), [(2,), (3,)]),
+            }
+        )
+        q = parse_query("Q(x,y) :- R(x,y), S(x)")
+        assert acyclic_count(q, db) == count_query(q, db) == 2
+
+    def test_covering_atom_case(self):
+        # α-acyclic *because* of the covering atom
+        db = Database(
+            {
+                "W": Relation(("a", "b", "c"), [(1, 2, 3), (1, 2, 4)]),
+                "R": Relation(("a", "b"), [(1, 2)]),
+                "S": Relation(("b", "c"), [(2, 3), (2, 4), (9, 9)]),
+            }
+        )
+        q = parse_query("Q(x,y,z) :- W(x,y,z), R(x,y), S(y,z)")
+        assert acyclic_count(q, db) == count_query(q, db) == 2
+
+    def test_exact_big_count_without_materialisation(self):
+        # star with three fat satellites: count is huge, DP handles exactly
+        center = Relation(("m",), [(i,) for i in range(4)])
+        fan = Relation(("m", "v"), [(i, j) for i in range(4) for j in range(50)])
+        db = Database({"C": center, "F": fan})
+        q = parse_query("Q(m,a,b,c) :- C(m), F(m,a), F(m,b), F(m,c)")
+        assert acyclic_count(q, db) == 4 * 50**3
+
+    def test_empty_result(self):
+        db = Database(
+            {
+                "R": Relation(("a", "b"), [(1, 2)]),
+                "S": Relation(("b", "c"), [(9, 9)]),
+            }
+        )
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        assert acyclic_count(q, db) == 0
+
+    def test_repeated_variable_atom(self):
+        db = Database({"R": Relation(("a", "b"), [(1, 1), (1, 2), (2, 2)])})
+        q = parse_query("Q(x,y) :- R(x,x), R(x,y)")
+        assert acyclic_count(q, db) == count_query(q, db) == 3
+
+    def test_python_int_exactness(self):
+        # counts exceeding float precision stay exact
+        fan = Relation(("m", "v"), [(0, j) for j in range(1000)])
+        center = Relation(("m",), [(0,)])
+        db = Database({"C": center, "F": fan})
+        q = parse_query(
+            "Q(m,a,b,c,d,e,f) :- C(m), F(m,a), F(m,b), F(m,c), F(m,d),"
+            " F(m,e), F(m,f)"
+        )
+        assert acyclic_count(q, db) == 1000**6

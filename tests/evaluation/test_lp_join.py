@@ -1,0 +1,86 @@
+"""Unit tests for the Theorem 2.6 evaluation algorithm."""
+
+import math
+
+import pytest
+
+from repro.core import collect_statistics, lp_bound
+from repro.evaluation import (
+    count_query,
+    evaluate_with_partitioning,
+    generic_join,
+    theorem26_log2_budget,
+)
+from repro.query import parse_query
+
+
+@pytest.fixture
+def join_setup(graph_db):
+    q = parse_query("Q(x,y,z) :- R(x,y), R(y,z)")
+    stats = collect_statistics(q, graph_db, ps=[1.0, 2.0, math.inf])
+    bound = lp_bound(stats, query=q)
+    return q, graph_db, bound
+
+
+class TestEvaluateWithPartitioning:
+    def test_output_matches_direct_join(self, join_setup):
+        q, db, bound = join_setup
+        run = evaluate_with_partitioning(q, db, bound)
+        assert run.output == generic_join(q, db).output
+
+    def test_self_join_cross_parts_counted(self, join_setup):
+        # the regression that motivated atom-level rewriting: the count
+        # must include tuples whose two atoms fall in different parts
+        q, db, bound = join_setup
+        run = evaluate_with_partitioning(q, db, bound)
+        assert run.count == count_query(q, db)
+
+    def test_triangle(self, graph_db, triangle_query):
+        stats = collect_statistics(
+            triangle_query, graph_db, ps=[1.0, 2.0, math.inf]
+        )
+        bound = lp_bound(stats, query=triangle_query)
+        run = evaluate_with_partitioning(triangle_query, graph_db, bound)
+        assert run.count == count_query(triangle_query, graph_db)
+
+    def test_within_budget(self, join_setup):
+        q, db, bound = join_setup
+        run = evaluate_with_partitioning(q, db, bound)
+        assert run.within_budget()
+        assert run.log2_budget >= bound.log2_bound  # budget ≥ bound
+
+    def test_max_parts_guard(self, join_setup):
+        q, db, bound = join_setup
+        with pytest.raises(ValueError, match="max_parts"):
+            evaluate_with_partitioning(q, db, bound, max_parts=1)
+
+    def test_no_partitioning_when_only_l1_linf(self, graph_db):
+        q = parse_query("Q(x,y,z) :- R(x,y), R(y,z)")
+        stats = collect_statistics(q, graph_db, ps=[1.0, math.inf])
+        bound = lp_bound(stats, query=q)
+        run = evaluate_with_partitioning(q, db=graph_db, bound=bound)
+        assert run.parts_evaluated == 1  # PANDA language already
+        assert run.count == count_query(q, graph_db)
+
+
+class TestBudget:
+    def test_budget_adds_part_constant(self, join_setup):
+        q, db, bound = join_setup
+        budget = theorem26_log2_budget(bound)
+        used_finite = [
+            stat.p
+            for stat, w in bound.used_statistics()
+            if stat.p not in (1.0, math.inf)
+        ]
+        expected_c = sum(
+            math.log2(math.ceil(2.0 ** p)) for p in used_finite
+        )
+        assert budget == pytest.approx(bound.log2_bound + expected_c)
+
+    def test_budget_requires_certificate(self):
+        from repro.core.conditionals import StatisticsSet
+        from repro.core.lp_bound import lp_bound as lb
+
+        unbounded = lb(StatisticsSet([]), variables=("x",), cone="polymatroid")
+        with pytest.raises(ValueError):
+            theorem26_log2_budget(unbounded)

@@ -1,0 +1,112 @@
+"""Unit tests for Lemma 2.5 partitioning and strong satisfaction."""
+
+import math
+
+import pytest
+
+from repro.core.degree import degree_sequence, max_degree
+from repro.core.norms import log2_norm
+from repro.evaluation.partitioning import (
+    partition_by_degree,
+    partition_for_statistic,
+    strongly_satisfies,
+)
+from repro.relational import Relation
+
+
+@pytest.fixture
+def skewed():
+    rows = [(i, 0) for i in range(16)]        # y=0 has degree 16
+    rows += [(100 + i, 1) for i in range(4)]  # y=1 has degree 4
+    rows += [(200 + j, 2 + j) for j in range(10)]  # ten degree-1 values
+    return Relation(("x", "y"), rows, name="skewed")
+
+
+class TestStronglySatisfies:
+    def test_uniform_relation_strongly_satisfies(self):
+        r = Relation(("x", "y"), [(i, i % 4) for i in range(8)])
+        b = log2_norm(degree_sequence(r, ["x"], ["y"]), 2.0)
+        assert strongly_satisfies(r, ["x"], ["y"], 2.0, b)
+
+    def test_skewed_relation_does_not(self, skewed):
+        b = log2_norm(degree_sequence(skewed, ["x"], ["y"]), 2.0)
+        assert not strongly_satisfies(skewed, ["x"], ["y"], 2.0, b)
+
+    def test_infinity_case(self, skewed):
+        assert strongly_satisfies(skewed, ["x"], ["y"], math.inf, 4.0)
+        assert not strongly_satisfies(skewed, ["x"], ["y"], math.inf, 3.9)
+
+    def test_empty_relation(self):
+        r = Relation(("x", "y"), [])
+        assert strongly_satisfies(r, ["x"], ["y"], 2.0, 0.0)
+
+
+class TestPartitionByDegree:
+    def test_parts_are_degree_uniform(self, skewed):
+        parts = partition_by_degree(skewed, ["x"], ["y"])
+        for part in parts:
+            seq = degree_sequence(part, ["x"], ["y"])
+            assert seq[0] < 2 * seq[-1] or seq[0] == seq[-1] or (
+                seq[0] // seq[-1] < 2
+            )
+            # all degrees share a ⌊log2⌋ bucket
+            lo = math.floor(math.log2(seq[-1]))
+            hi = math.floor(math.log2(seq[0]))
+            assert lo == hi
+
+    def test_union_is_original(self, skewed):
+        parts = partition_by_degree(skewed, ["x"], ["y"])
+        rows = set()
+        for part in parts:
+            for row in part:
+                assert row not in rows  # disjoint
+                rows.add(row)
+        assert rows == set(skewed)
+
+    def test_bucket_count_logarithmic(self, skewed):
+        parts = partition_by_degree(skewed, ["x"], ["y"])
+        assert len(parts) <= math.ceil(math.log2(16)) + 1
+
+    def test_empty_relation(self):
+        assert partition_by_degree(Relation(("x", "y"), []), ["x"], ["y"]) == []
+
+
+class TestPartitionForStatistic:
+    @pytest.mark.parametrize("p", [1.5, 2.0, 3.0])
+    def test_each_part_strongly_satisfies(self, skewed, p):
+        b = log2_norm(degree_sequence(skewed, ["x"], ["y"]), p)
+        parts = partition_for_statistic(skewed, ["x"], ["y"], p, b)
+        assert parts  # non-empty
+        for part in parts:
+            assert strongly_satisfies(part, ["x"], ["y"], p, b)
+
+    def test_union_preserved(self, skewed):
+        b = log2_norm(degree_sequence(skewed, ["x"], ["y"]), 2.0)
+        parts = partition_for_statistic(skewed, ["x"], ["y"], 2.0, b)
+        rows = set()
+        for part in parts:
+            rows.update(part)
+        assert rows == set(skewed)
+
+    def test_part_count_within_lemma25(self, skewed):
+        b = log2_norm(degree_sequence(skewed, ["x"], ["y"]), 2.0)
+        parts = partition_for_statistic(skewed, ["x"], ["y"], 2.0, b)
+        n = len(skewed)
+        # Lemma 2.5: ⌈2^p⌉·log N parts (generous constant)
+        assert len(parts) <= math.ceil(2.0 ** 2.0) * (
+            math.ceil(math.log2(n)) + 1
+        )
+
+    def test_infinity_returns_whole(self, skewed):
+        parts = partition_for_statistic(skewed, ["x"], ["y"], math.inf, 4.0)
+        assert parts == [skewed]
+
+    def test_violated_statistic_rejected(self, skewed):
+        # bound below the max degree: impossible to strongly satisfy
+        with pytest.raises(ValueError, match="violates"):
+            partition_for_statistic(skewed, ["x"], ["y"], 2.0, 1.0)
+
+    def test_slack_bound_gives_single_parts_per_bucket(self, skewed):
+        # a very loose bound still partitions into degree buckets only
+        parts = partition_for_statistic(skewed, ["x"], ["y"], 2.0, 40.0)
+        assert len(parts) == len(partition_by_degree(skewed, ["x"], ["y"]))

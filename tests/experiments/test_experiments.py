@@ -1,0 +1,167 @@
+"""Shape tests for the experiment modules at reduced scale.
+
+The full-scale runs live in benchmarks/ (one per paper table/figure);
+these tests exercise the same code paths quickly and pin the qualitative
+claims that must survive any re-generation of the synthetic data.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.cycle import cycle_query, run_cycle_experiment
+from repro.experiments.dsb_gap import run_dsb_gap_experiment, witness_instance
+from repro.experiments.evaluation_runtime import run_evaluation_experiment
+from repro.experiments.job import run_job_experiment
+from repro.experiments.lp_scaling import path_query, run_lp_scaling
+from repro.experiments.nonshannon import (
+    run_nonshannon_experiment,
+    theorem_d3_query,
+    theorem_d3_statistics,
+)
+from repro.experiments.norm_ablation import run_norm_ablation
+from repro.experiments.normal_vs_product import run_normal_vs_product
+from repro.experiments.one_join import run_one_join_experiment
+from repro.experiments.triangle import run_triangle_experiment
+from repro.experiments.harness import (
+    format_scientific,
+    format_table,
+    ratio_to_true,
+)
+
+
+class TestHarness:
+    def test_ratio_to_true(self):
+        assert ratio_to_true(10.0, 512) == pytest.approx(2.0)
+        assert ratio_to_true(math.inf, 10) == math.inf
+        assert math.isnan(ratio_to_true(3.0, 0))
+
+    def test_format_scientific(self):
+        assert format_scientific(1.9) == "1.90E+00"
+        assert format_scientific(math.inf) == "inf"
+        assert format_scientific(float("nan")) == "n/a"
+
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [(1, 2), (33, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "--" in lines[1]
+
+
+class TestTriangleAndOneJoin:
+    def test_triangle_small(self):
+        rows = run_triangle_experiment(datasets=["ca-GrQc"], max_p=3)
+        (row,) = rows
+        assert row.ratio_l2 <= row.ratio_l1_inf <= row.ratio_l1 + 1e-9
+        assert row.ratio_l2 >= 1.0
+
+    def test_one_join_small(self):
+        (row,) = run_one_join_experiment(datasets=["ca-GrQc"])
+        assert row.ratio_l2 == pytest.approx(1.0, abs=1e-6)
+        assert row.ratio_estimator < 1.0
+
+
+class TestJob:
+    def test_subset_of_queries(self):
+        rows = run_job_experiment(query_ids=(1, 3, 7), scale=0.1)
+        assert [r.query_id for r in rows] == [1, 3, 7]
+        for r in rows:
+            assert 1.0 - 1e-9 <= r.ratio_ours <= r.ratio_panda + 1e-9
+            assert r.ratio_panda <= r.ratio_agm + 1e-9
+            assert math.inf in r.norms_used
+
+    def test_norm_ablation_monotone(self):
+        families = ((1.0,), (1.0, math.inf), (1.0, 2.0, math.inf))
+        rows = run_norm_ablation(
+            query_ids=(1, 3), families=families, scale=0.1
+        )
+        assert rows[0].geomean_ratio >= rows[1].geomean_ratio
+        assert rows[1].geomean_ratio >= rows[2].geomean_ratio
+
+
+class TestCycle:
+    def test_cycle_query_shape(self):
+        q = cycle_query(4)
+        assert len(q.atoms) == 4
+        assert q.num_variables == 4
+
+    def test_cycle_query_rejects_short(self):
+        with pytest.raises(ValueError):
+            cycle_query(2)
+
+    def test_p2_experiment(self):
+        exp = run_cycle_experiment(2, m=512)
+        assert exp.best_q == 2.0
+        assert 2.0 in exp.lp_norms_used
+        best = min(r.log2_bound for r in exp.rows)
+        assert abs(exp.log2_lp - best) < 0.5
+
+
+class TestDsbGap:
+    def test_small_scale(self):
+        res = run_dsb_gap_experiment(m=729, max_p=6)
+        assert res.dsb_exponent < res.lp_exponent
+        assert res.witness_satisfies_stats
+        assert abs(res.log2_lp - res.log2_certificate) < 0.2
+
+    def test_witness_shape(self):
+        db = witness_instance(729)
+        # |Q'| = M^{2/3}·M^{1/9}·M^{1/3} = M^{10/9}
+        from repro.evaluation import acyclic_count
+        from repro.query import parse_query
+
+        q = parse_query("g(x,y,z) :- R(x,y), S(y,z)")
+        assert acyclic_count(q, db) == 81 * 2 * 9  # 729^{2/3}=81, deg 2 & 9
+
+
+class TestNormalVsProduct:
+    def test_small_b(self):
+        res = run_normal_vs_product(8.0)
+        assert res.log2_lp_bound == pytest.approx(8.0)
+        assert res.normal_satisfies and res.product_satisfies
+        assert res.normal_count >= 2 ** 7
+        assert math.log2(res.product_count) <= res.log2_product_limit + 1e-9
+
+
+class TestNonShannon:
+    def test_gap_exact(self):
+        res = run_nonshannon_experiment(k=2.0)
+        assert res.log2_polymatroid == pytest.approx(8.0, abs=1e-5)
+        assert res.log2_with_zhang_yeung == pytest.approx(70 / 9, abs=1e-5)
+
+    def test_figure2_feasible_for_statistics(self):
+        # the Fig. 2 polymatroid certifies the polymatroid LP ≥ 4
+        from repro.entropy import figure2_polymatroid
+
+        h = figure2_polymatroid()
+        query = theorem_d3_query()
+        for stat in theorem_d3_statistics(1.0):
+            cond = stat.conditional
+            inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
+            value = inv_p * h.h(sorted(cond.u)) + h.conditional(
+                sorted(cond.v), sorted(cond.u)
+            )
+            assert value <= stat.log2_bound + 1e-9
+        assert h.h(query.variables) == 4.0
+
+    def test_query_is_alpha_acyclic(self):
+        from repro.query import is_alpha_acyclic
+
+        assert is_alpha_acyclic(theorem_d3_query())
+
+
+class TestRuntimeAndScaling:
+    def test_evaluation_runtime_small(self):
+        rows = run_evaluation_experiment("ca-GrQc")
+        for r in rows:
+            assert r.output_matches
+            assert r.within_budget
+
+    def test_lp_scaling_agreement(self):
+        rows = run_lp_scaling(lengths=(2, 3), polymatroid_max_vars=5)
+        assert all(r.bounds_agree for r in rows)
+
+    def test_path_query_shape(self):
+        q = path_query(3)
+        assert q.num_variables == 4
+        assert len(q.atoms) == 3

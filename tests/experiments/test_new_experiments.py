@@ -1,0 +1,69 @@
+"""Shape tests for E11–E13 at reduced scale."""
+
+import math
+
+import pytest
+
+from repro.experiments.appendix_b import run_example_b1, run_theorem_b2
+from repro.experiments.chain import chain_query_over, run_chain_experiment
+from repro.experiments.loomis_whitney import (
+    loomis_whitney_query,
+    run_loomis_whitney_experiment,
+    skewed_ternary_instance,
+)
+
+
+class TestChain:
+    def test_query_shape(self):
+        q = chain_query_over(3)
+        assert q.num_variables == 4
+        assert [a.relation for a in q.atoms] == ["R1", "R2", "R3"]
+
+    def test_short_run(self):
+        rows = run_chain_experiment("ca-GrQc", lengths=(2, 3), max_p=4)
+        assert [r.length for r in rows] == [2, 3]
+        for r in rows:
+            assert r.ratio_full >= 1.0 - 1e-9
+            assert r.ratio_full <= r.ratio_l1_inf + 1e-9
+            assert r.ratio_l1_inf <= r.ratio_l1 + 1e-9
+            assert r.ratio_estimator < 1.0
+            # closed form (20) is never better than the LP optimum
+            assert r.ratio_full <= r.ratio_formula_p2 * (1 + 1e-9)
+
+    def test_dsb_close_to_lp_on_short_chains(self):
+        (row,) = run_chain_experiment("ca-GrQc", lengths=(2,), max_p=4)
+        # for the single join, DSB ≤ ℓ2-bound = LP optimum here
+        assert row.ratio_dsb <= row.ratio_full * (1 + 1e-6)
+
+
+class TestLoomisWhitney:
+    def test_query_is_cyclic_hypergraph(self):
+        from repro.query import is_alpha_acyclic
+
+        assert not is_alpha_acyclic(loomis_whitney_query())
+
+    def test_instance_schema(self):
+        db = skewed_ternary_instance(rows=300, domain=12, seed=2)
+        for name in ("A", "B", "C", "D"):
+            assert db[name].arity == 3
+
+    def test_small_run_sound_and_ordered(self):
+        res = run_loomis_whitney_experiment(rows=400, domain=12, seed=2)
+        assert res.log2_lp >= math.log2(max(1, res.true_count)) - 1e-6
+        assert res.log2_lp <= res.log2_c6_formula + 1e-6
+        assert res.log2_lp <= res.log2_agm + 1e-6
+
+
+class TestAppendixB:
+    def test_example_b1_exact_numbers(self):
+        res = run_example_b1(n=256)
+        assert res.true_count == 256
+        assert res.log2_claim_modular == pytest.approx(16 / 3, abs=1e-6)
+        assert res.log2_polymatroid == pytest.approx(8.0, abs=1e-6)
+        assert res.modular_undershoots
+
+    def test_theorem_b2_agreement_pattern(self):
+        rows = run_theorem_b2(m=256, lengths=(3, 4))
+        for r in rows:
+            assert r.agree == r.applicable, (r.cycle_length, r.p)
+            assert r.log2_modular <= r.log2_polymatroid + 1e-9

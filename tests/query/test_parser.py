@@ -1,0 +1,47 @@
+"""Unit tests for the datalog-style parser."""
+
+import pytest
+
+from repro.query import parse_query
+
+
+class TestParser:
+    def test_full_form(self):
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+        assert q.name == "Q"
+        assert [a.relation for a in q.atoms] == ["R", "S"]
+        assert q.variables == ("x", "y", "z")
+
+    def test_body_only(self):
+        q = parse_query("R(x,y), S(y,z)")
+        assert q.name == "Q"
+        assert q.num_variables == 3
+
+    def test_custom_name(self):
+        q = parse_query("triangle(a,b,c) :- R(a,b), R(b,c), R(c,a)")
+        assert q.name == "triangle"
+
+    def test_whitespace_tolerated(self):
+        q = parse_query("  Q( x , y ) :-  R( x , y )  ")
+        assert q.atoms[0].variables == ("x", "y")
+
+    def test_repeated_variables(self):
+        q = parse_query("R(x,x)")
+        assert q.atoms[0].variables == ("x", "x")
+        assert q.num_variables == 1
+
+    def test_underscored_names(self):
+        q = parse_query("movie_info(m, it)")
+        assert q.atoms[0].relation == "movie_info"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_query("not a query at all!")
+
+    def test_rejects_empty_atom(self):
+        with pytest.raises(ValueError):
+            parse_query("R()")
+
+    def test_rejects_missing_comma(self):
+        with pytest.raises(ValueError):
+            parse_query("R(x,y) S(y,z)")

@@ -1,0 +1,60 @@
+"""Unit tests for Atom and ConjunctiveQuery."""
+
+import pytest
+
+from repro.query.query import Atom, ConjunctiveQuery
+
+
+class TestAtom:
+    def test_variable_set(self):
+        a = Atom("R", ("x", "y", "x"))
+        assert a.variable_set == frozenset({"x", "y"})
+        assert a.arity == 3
+
+    def test_str(self):
+        assert str(Atom("R", ("x", "y"))) == "R(x, y)"
+
+    def test_hashable(self):
+        assert Atom("R", ("x",)) == Atom("R", ("x",))
+        assert hash(Atom("R", ("x",))) == hash(Atom("R", ("x",)))
+
+    def test_accepts_list_variables(self):
+        assert Atom("R", ["x", "y"]).variables == ("x", "y")
+
+
+class TestConjunctiveQuery:
+    def test_requires_atoms(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([])
+
+    def test_variables_in_first_appearance_order(self):
+        q = ConjunctiveQuery([Atom("R", ("b", "a")), Atom("S", ("a", "c"))])
+        assert q.variables == ("b", "a", "c")
+
+    def test_num_variables(self):
+        q = ConjunctiveQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert q.num_variables == 3
+
+    def test_relation_names_deduplicated(self):
+        q = ConjunctiveQuery([Atom("R", ("x", "y")), Atom("R", ("y", "z"))])
+        assert q.relation_names == ("R",)
+
+    def test_atoms_with_variable(self):
+        q = ConjunctiveQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert len(q.atoms_with_variable("y")) == 2
+        assert len(q.atoms_with_variable("x")) == 1
+
+    def test_guards_for(self):
+        q = ConjunctiveQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        guards = q.guards_for([frozenset({"x"}), frozenset({"y"})])
+        assert [g.relation for g in guards] == ["R"]
+
+    def test_str_rendering(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Q"
+        )
+        assert str(q) == "Q(x, y, z) = R(x, y) ∧ S(y, z)"
+
+    def test_is_full(self):
+        q = ConjunctiveQuery([Atom("R", ("x",))])
+        assert q.is_full()

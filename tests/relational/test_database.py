@@ -1,0 +1,74 @@
+"""Unit tests for Database."""
+
+import pytest
+
+from repro.core.conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+)
+from repro.query.query import Atom
+from repro.relational import Database, Relation
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation(("x", "y"), [(1, 2), (2, 3)]),
+            "S": Relation(("y", "z"), [(2, 7)]),
+        }
+    )
+
+
+class TestAccess:
+    def test_getitem(self, db):
+        assert db["R"].arity == 2
+
+    def test_getitem_sets_name(self, db):
+        assert db["R"].name == "R"
+
+    def test_missing_relation_lists_available(self, db):
+        with pytest.raises(KeyError, match="'R', 'S'"):
+            db["T"]
+
+    def test_contains_iter_len(self, db):
+        assert "R" in db and "T" not in db
+        assert sorted(db) == ["R", "S"]
+        assert len(db) == 2
+
+    def test_names_sorted(self, db):
+        assert db.names() == ["R", "S"]
+
+    def test_total_tuples(self, db):
+        assert db.total_tuples() == 3
+
+    def test_active_domain_size(self, db):
+        assert db.active_domain_size() == 4  # {1, 2, 3, 7}
+
+    def test_with_relation_replaces(self, db):
+        new = db.with_relation("R", Relation(("x", "y"), [(9, 9)]))
+        assert len(new["R"]) == 1
+        assert len(db["R"]) == 2  # original untouched
+
+    def test_with_relation_adds(self, db):
+        new = db.with_relation("T", Relation(("a",), [(1,)]))
+        assert "T" in new and "T" not in db
+
+
+class TestSatisfies:
+    def test_satisfies_true_statistic(self, db):
+        stat = ConcreteStatistic(
+            AbstractStatistic(Conditional(frozenset("y"), frozenset("x")), 1.0),
+            log2_bound=2.0,
+            guard=Atom("R", ("x", "y")),
+        )
+        assert db.satisfies([stat])
+
+    def test_satisfies_false_statistic(self, db):
+        stat = ConcreteStatistic(
+            AbstractStatistic(Conditional(frozenset("y"), frozenset("x")), 1.0),
+            log2_bound=0.5,  # ℓ1 of deg(y|x) is 2, log2 = 1 > 0.5
+            guard=Atom("R", ("x", "y")),
+        )
+        assert not db.satisfies([stat])

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import math
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _parse_norms, build_parser, main
+
+
+class TestParsing:
+    def test_norms_parser(self):
+        assert _parse_norms("1,2,inf") == [1.0, 2.0, math.inf]
+        assert _parse_norms("2.5") == [2.5]
+
+    def test_norms_parser_rejects_empty(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_norms(",")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E13" in out
+        assert len(EXPERIMENTS) == 13
+
+    def test_experiment_by_id(self, capsys):
+        assert main(["experiment", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "35" in out  # the 35/36 gap experiment
+
+    def test_experiment_by_module_name(self, capsys):
+        assert main(["experiment", "nonshannon"]) == 0
+        assert "non-Shannon" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+
+    def test_bound_over_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "edges.csv"
+        csv_path.write_text("x,y\n1,2\n2,3\n3,1\n2,1\n3,2\n1,3\n")
+        code = main(
+            [
+                "bound",
+                "--query",
+                "Q(x,y,z) :- R(x,y), R(y,z), R(z,x)",
+                "--table",
+                f"R={csv_path}",
+                "--norms",
+                "1,2,inf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bound" in out
+        assert "certificate" in out
+
+    def test_bound_bad_table_spec(self, capsys):
+        code = main(
+            ["bound", "--query", "Q(x) :- R(x)", "--table", "nonsense"]
+        )
+        assert code == 2
+
+    def test_bound_string_values(self, tmp_path, capsys):
+        csv_path = tmp_path / "r.csv"
+        csv_path.write_text("x,y\na,b\nb,c\n")
+        code = main(
+            [
+                "bound",
+                "--query",
+                "Q(x,y,z) :- R(x,y), R(y,z)",
+                "--table",
+                f"R={csv_path}",
+            ]
+        )
+        assert code == 0
+        assert "optimal" in capsys.readouterr().out

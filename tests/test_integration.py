@@ -1,0 +1,137 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test walks a realistic pipeline: generate data → parse a query →
+collect statistics → bound → evaluate → compare, crossing every package
+boundary the library has.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    Database,
+    Relation,
+    collect_statistics,
+    lp_bound,
+    parse_query,
+)
+from repro.core import product_form, verify_certificate
+from repro.datasets import alpha_beta_relation, power_law_graph
+from repro.estimators import (
+    agm_bound,
+    dsb_single_join,
+    panda_bound,
+    textbook_estimate,
+)
+from repro.evaluation import (
+    acyclic_count,
+    count_query,
+    evaluate_with_partitioning,
+)
+from repro.tightness import build_worst_case
+
+
+class TestFullPipelineTriangle:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        edges = power_law_graph(250, 1000, 0.6, seed=99)
+        db = Database({"R": edges})
+        q = parse_query("tri(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+        stats = collect_statistics(q, db, ps=[1.0, 2.0, 3.0, math.inf])
+        return db, q, stats
+
+    def test_bound_chain_is_ordered(self, setup):
+        db, q, stats = setup
+        truth = count_query(q, db)
+        ours = lp_bound(stats, query=q)
+        panda = panda_bound(q, db, statistics=stats)
+        agm = agm_bound(q, db)
+        assert math.log2(max(1, truth)) <= ours.log2_bound + 1e-9
+        assert ours.log2_bound <= panda.log2_bound + 1e-9
+        assert panda.log2_bound <= agm + 1e-9
+
+    def test_certificate_round_trip(self, setup):
+        _, q, stats = setup
+        result = lp_bound(stats, query=q)
+        assert verify_certificate(result)
+        assert "||deg_R(" in product_form(result)
+        # the primal witness is a feasible polymatroid achieving the bound
+        h = result.entropy_vector()
+        assert h.full == pytest.approx(result.log2_bound)
+
+    def test_partitioned_evaluation_consistent(self, setup):
+        db, q, stats = setup
+        result = lp_bound(stats.restrict_ps([1.0, 2.0, math.inf]), query=q)
+        run = evaluate_with_partitioning(q, db, result, max_parts=10000)
+        assert run.count == count_query(q, db)
+        assert run.within_budget()
+
+
+class TestFullPipelineAcyclic:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        r = alpha_beta_relation(1 / 3, 1 / 3, 1000).with_name("R")
+        s = alpha_beta_relation(1 / 3, 1 / 3, 1000).with_name("S")
+        db = Database({"R": r, "S": s})
+        q = parse_query("j(x,y,z) :- R(x,y), S(y,z)")
+        return db, q
+
+    def test_bounds_and_estimators_bracket_truth(self, setup):
+        db, q = setup
+        truth = acyclic_count(q, db)
+        stats = collect_statistics(q, db, ps=[1.0, 2.0, math.inf])
+        ours = lp_bound(stats, query=q)
+        dsb = dsb_single_join(q, db)
+        assert truth <= dsb <= 2 ** ours.log2_bound * (1 + 1e-9)
+        estimate = textbook_estimate(q, db)
+        assert estimate > 0
+
+    def test_l2_beats_panda_on_alpha_beta(self, setup):
+        # the Sec. C.3 separation: (1/3,1/3)-instances favour ℓ2
+        db, q = setup
+        stats = collect_statistics(q, db, ps=[1.0, 2.0, math.inf])
+        l2 = lp_bound(stats.restrict_ps([2.0]), query=q)
+        panda = lp_bound(stats.restrict_ps([1.0, math.inf]), query=q)
+        assert l2.log2_bound < panda.log2_bound - 1.0  # >2× better
+
+    def test_worst_case_construction_from_scaled_stats(self, setup):
+        db, q = setup
+        stats = collect_statistics(q, db, ps=[1.0, 2.0, math.inf])
+        bound = lp_bound(stats, query=q, cone="normal")
+        if bound.log2_bound > 20:
+            pytest.skip("instance too large to materialise")
+        worst = build_worst_case(q, bound)
+        assert worst.is_tight()
+        assert stats.holds_on(worst.database, tolerance_log2=1e-6)
+
+
+class TestSelfJoinEquality:
+    def test_eq18_exact_for_symmetric_self_join(self):
+        """Sec. 2.1: for Q = R(x,y) ∧ R(z,y), bound (18) equals |Q|."""
+        edges = power_law_graph(200, 800, 0.7, seed=5)
+        db = Database({"R": edges})
+        q = parse_query("Q(x,y,z) :- R(x,y), R(z,y)")
+        stats = collect_statistics(q, db, ps=[2.0])
+        result = lp_bound(stats.restrict_ps([2.0]), query=q)
+        truth = count_query(q, db)
+        assert result.log2_bound == pytest.approx(math.log2(truth), abs=1e-6)
+
+
+class TestLargeVariableCounts:
+    def test_star_with_twelve_variables_uses_normal_cone(self):
+        center = Relation(
+            ("m", "v"), [(i % 5, i) for i in range(40)], name="R"
+        )
+        db = Database({"R": center})
+        atoms = ", ".join(f"R(m, a{i})" for i in range(11))
+        q = parse_query(f"Q(m) :- {atoms}")
+        stats = collect_statistics(q, db, ps=[1.0, 2.0, math.inf])
+        result = lp_bound(stats, query=q)
+        assert result.cone == "normal"
+        assert result.status == "optimal"
+        # the output has ~5·8^11 tuples: count via the join-tree DP, never
+        # materialise
+        truth = acyclic_count(q, db)
+        assert truth == 5 * 8**11
+        assert result.log2_bound >= math.log2(truth) - 1e-6

@@ -1,0 +1,101 @@
+"""Unit tests for basic normal relations and domain products (Sec. 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.entropy import entropy_of_relation, is_totally_uniform, normal
+from repro.tightness import (
+    basic_normal_relation,
+    domain_product,
+    normal_relation,
+)
+from repro.relational import Relation
+
+
+class TestBasicNormalRelation:
+    def test_example_66_shape(self):
+        # T^{X,Z}_N from Example 6.6
+        t = basic_normal_relation(("X", "Y", "Z"), ["X", "Z"], 4)
+        assert len(t) == 4
+        assert (2, 0, 2) in t
+        assert (0, 0, 0) in t
+
+    def test_entropy_is_scaled_step(self):
+        # Prop. 6.5(2): h_{T^W_N} = log2(N) · h_W
+        t = basic_normal_relation(("X", "Y", "Z"), ["X", "Y"], 8)
+        h = entropy_of_relation(t)
+        expected = normal(
+            ("X", "Y", "Z"), {frozenset({"X", "Y"}): math.log2(8)}
+        )
+        assert np.allclose(h.values, expected.values)
+
+    def test_totally_uniform(self):
+        t = basic_normal_relation(("X", "Y"), ["X"], 5)
+        assert is_totally_uniform(t)
+
+    def test_rejects_unknown_attribute(self):
+        with pytest.raises(ValueError):
+            basic_normal_relation(("X",), ["Z"], 2)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            basic_normal_relation(("X",), ["X"], 0)
+
+
+class TestDomainProduct:
+    def test_sizes_multiply(self):
+        a = basic_normal_relation(("X", "Y"), ["X"], 3)
+        b = basic_normal_relation(("X", "Y"), ["Y"], 4)
+        assert len(domain_product(a, b)) == 12
+
+    def test_entropies_add(self):
+        # Eq. 38
+        a = basic_normal_relation(("X", "Y"), ["X"], 4)
+        b = basic_normal_relation(("X", "Y"), ["X", "Y"], 8)
+        product = domain_product(a, b)
+        ha, hb = entropy_of_relation(a), entropy_of_relation(b)
+        hp = entropy_of_relation(product)
+        assert np.allclose(hp.values, ha.values + hb.values)
+
+    def test_attribute_mismatch_rejected(self):
+        a = basic_normal_relation(("X", "Y"), ["X"], 2)
+        b = basic_normal_relation(("X", "Z"), ["X"], 2)
+        with pytest.raises(ValueError):
+            domain_product(a, b)
+
+
+class TestNormalRelation:
+    def test_example_66_t1_product(self):
+        # T1 = T^X ⊗ T^Y ⊗ T^Z: the full N³ cube
+        t = normal_relation(
+            ("X", "Y", "Z"), [(["X"], 3), (["Y"], 3), (["Z"], 3)]
+        )
+        assert len(t) == 27
+
+    def test_example_66_t2_diagonal(self):
+        t = normal_relation(("X", "Y", "Z"), [(["X", "Y", "Z"], 5)])
+        assert len(t) == 5
+
+    def test_example_66_t3_path_shape(self):
+        # T3 = T^{XY}_N ⊗ T^{YZ}_N has N² tuples
+        t = normal_relation(("X", "Y", "Z"), [(["X", "Y"], 4), (["Y", "Z"], 4)])
+        assert len(t) == 16
+
+    def test_no_factors_is_unit(self):
+        t = normal_relation(("X", "Y"), [])
+        assert len(t) == 1
+
+    def test_every_normal_relation_totally_uniform(self):
+        t = normal_relation(
+            ("X", "Y", "Z"), [(["X", "Y"], 2), (["Z"], 3), (["X", "Y", "Z"], 2)]
+        )
+        assert is_totally_uniform(t)
+
+    def test_entropy_is_normal_polymatroid(self):
+        t = normal_relation(("X", "Y"), [(["X"], 4), (["X", "Y"], 2)])
+        h = entropy_of_relation(t)
+        from repro.entropy import is_normal
+
+        assert is_normal(h)

@@ -1,0 +1,117 @@
+"""Unit tests for the Lemma 6.2 worst-case construction."""
+
+import math
+
+import pytest
+
+from repro.core import collect_statistics, lp_bound
+from repro.core.conditionals import (
+    AbstractStatistic,
+    ConcreteStatistic,
+    Conditional,
+    StatisticsSet,
+)
+from repro.evaluation import count_query
+from repro.query import parse_query
+from repro.query.query import Atom, ConjunctiveQuery
+from repro.tightness import build_worst_case
+
+
+def _join_stats(b_r: float, b_s: float, p: float):
+    r_atom, s_atom = Atom("R", ("x", "y")), Atom("S", ("y", "z"))
+    return StatisticsSet(
+        [
+            ConcreteStatistic(
+                AbstractStatistic(
+                    Conditional(frozenset("x"), frozenset("y")), p
+                ),
+                b_r,
+                r_atom,
+            ),
+            ConcreteStatistic(
+                AbstractStatistic(
+                    Conditional(frozenset("z"), frozenset("y")), p
+                ),
+                b_s,
+                s_atom,
+            ),
+            ConcreteStatistic(
+                AbstractStatistic(Conditional(frozenset("y")), 1.0),
+                max(b_r, b_s),
+                r_atom,
+            ),
+        ]
+    )
+
+
+JOIN = parse_query("Q(x,y,z) :- R(x,y), S(y,z)")
+
+
+class TestBuildWorstCase:
+    def test_tightness_for_l2_join(self):
+        stats = _join_stats(6.0, 6.0, 2.0)
+        bound = lp_bound(stats, query=JOIN, cone="normal")
+        worst = build_worst_case(JOIN, bound)
+        assert worst.is_tight()
+        achieved = count_query(JOIN, worst.database)
+        # the witness's output is the witness relation itself
+        assert achieved >= len(worst.witness)
+        # Lemma 6.2: within 2^c of the bound
+        assert math.log2(achieved) >= bound.log2_bound - worst.num_factors - 1e-6
+
+    def test_database_satisfies_statistics(self):
+        stats = _join_stats(5.0, 7.0, 2.0)
+        bound = lp_bound(stats, query=JOIN, cone="normal")
+        worst = build_worst_case(JOIN, bound)
+        assert stats.holds_on(worst.database, tolerance_log2=1e-6)
+
+    def test_triangle_agm_worst_case_is_product(self):
+        # only cardinality stats: worst case is the AGM product database
+        atoms = [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))]
+        q = ConjunctiveQuery(atoms)
+        stats = StatisticsSet(
+            [
+                ConcreteStatistic(
+                    AbstractStatistic(
+                        Conditional(frozenset(a.variables)), 1.0
+                    ),
+                    8.0,
+                    a,
+                )
+                for a in atoms
+            ]
+        )
+        bound = lp_bound(stats, query=q, cone="normal")
+        assert bound.log2_bound == pytest.approx(12.0)
+        worst = build_worst_case(q, bound)
+        assert worst.is_tight()
+        assert count_query(q, worst.database) >= 2 ** (12 - worst.num_factors)
+
+    def test_requires_normal_cone(self):
+        stats = _join_stats(4.0, 4.0, 2.0)
+        bound = lp_bound(stats, query=JOIN, cone="polymatroid")
+        with pytest.raises(ValueError, match="normal"):
+            build_worst_case(JOIN, bound)
+
+    def test_refuses_huge_bounds(self):
+        stats = _join_stats(40.0, 40.0, 2.0)
+        bound = lp_bound(stats, query=JOIN, cone="normal")
+        with pytest.raises(ValueError, match="materialise"):
+            build_worst_case(JOIN, bound)
+
+    def test_gap_reported(self):
+        stats = _join_stats(6.0, 6.0, 2.0)
+        bound = lp_bound(stats, query=JOIN, cone="normal")
+        worst = build_worst_case(JOIN, bound)
+        assert worst.log2_gap == pytest.approx(
+            worst.log2_bound - worst.log2_achieved
+        )
+
+    def test_end_to_end_from_collected_statistics(self, two_table_db):
+        # collect real statistics, rescale down, build the adversary
+        stats = collect_statistics(JOIN, two_table_db, ps=[1.0, 2.0, math.inf])
+        bound = lp_bound(stats, query=JOIN, cone="normal")
+        if bound.log2_bound > 24:  # pragma: no cover - fixture is small
+            pytest.skip("fixture grew too large")
+        worst = build_worst_case(JOIN, bound)
+        assert worst.is_tight()
