@@ -9,12 +9,14 @@ extraction, and the evaluators.
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core import StatisticsCatalog, collect_statistics, lp_bound
 from repro.core.degree import degree_sequence
 from repro.datasets import power_law_graph, snap_database
 from repro.evaluation import acyclic_count, count_query
+from repro.evaluation.joins import hash_join_tuples, join_relations
 from repro.query import parse_query
 
 TRIANGLE = parse_query("t(x,y,z) :- R(x,y), R(y,z), R(z,x)")
@@ -34,6 +36,39 @@ def triangle_stats(db):
 def test_bench_degree_sequence(benchmark, db):
     seq = benchmark(degree_sequence, db["R"], ["y"], ["x"])
     assert seq[0] >= seq[-1]
+
+
+def test_bench_degree_sequence_tuple_oracle(benchmark, db):
+    """The pre-columnar degree-sequence path, as a before/after yardstick."""
+    relation = db["R"]
+    gpos = relation.positions(("x",))
+    vpos = relation.positions(("y",))
+
+    def oracle():
+        sizes = relation._group_sizes_tuples(gpos, vpos)
+        out = np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+        out[::-1].sort()
+        return out
+
+    seq = benchmark(oracle)
+    assert np.array_equal(seq, degree_sequence(relation, ["y"], ["x"]))
+
+
+def test_bench_join_relations(benchmark, db):
+    """Binary natural join R(x,y) ⋈ R(y,z) through the columnar engine."""
+    right = db["R"].rename({"x": "y", "y": "z"})
+    out = benchmark(join_relations, db["R"], right)
+    assert len(out) > len(db["R"])
+
+
+def test_bench_join_tuple_oracle(benchmark, db):
+    """The same binary join through the tuple hash join (the before)."""
+    rows = list(db["R"])
+    out_vars, out_rows = benchmark(
+        hash_join_tuples, ("x", "y"), rows, ("y", "z"), rows
+    )
+    assert out_vars == ("x", "y", "z")
+    assert len(out_rows) > len(rows)
 
 
 def test_bench_collect_statistics(benchmark, db):
@@ -66,6 +101,48 @@ def test_bench_lp_polymatroid_cone(benchmark, triangle_stats):
         lp_bound, triangle_stats, query=TRIANGLE, cone="polymatroid"
     )
     assert result.status == "optimal"
+
+
+def test_columnar_speedup_guard(db):
+    """Perf regression guard (runs even in single-round CI smoke mode).
+
+    The columnar engine must stay well ahead of the tuple oracle on both
+    acceptance hot paths; thresholds are conservative against the
+    ≥5× measured locally (degree sequence ~50×, binary join ~6×) so a
+    contended shared CI runner doesn't turn an unrelated PR red.
+    """
+    import time
+
+    relation = db["R"]
+    gpos = relation.positions(("x",))
+    vpos = relation.positions(("y",))
+
+    def best_of(fn, repeats=5):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    def oracle_degrees():
+        sizes = relation._group_sizes_tuples(gpos, vpos)
+        out = np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+        out[::-1].sort()
+
+    degree_sequence(relation, ["y"], ["x"])  # warm the columnar cache
+    fast = best_of(lambda: degree_sequence(relation, ["y"], ["x"]))
+    slow = best_of(oracle_degrees)
+    assert slow / fast >= 3.0, f"degree-sequence speedup collapsed: {slow / fast:.1f}x"
+
+    right = relation.rename({"x": "y", "y": "z"})
+    rows = list(relation)
+    join_relations(relation, right)  # warm
+    fast = best_of(lambda: join_relations(relation, right))
+    slow = best_of(
+        lambda: hash_join_tuples(("x", "y"), rows, ("y", "z"), rows)
+    )
+    assert slow / fast >= 2.0, f"join speedup collapsed: {slow / fast:.1f}x"
 
 
 def test_bench_wcoj_triangle(benchmark):

@@ -28,7 +28,7 @@ from .conditionals import (
     StatisticsSet,
 )
 from .degree import degree_sequence
-from .norms import log2_norm
+from .norms import log2_norm, log2_norms
 
 __all__ = ["StatisticsCatalog"]
 
@@ -97,6 +97,33 @@ class StatisticsCatalog:
             self._norms[key] = cached
         return cached
 
+    def log2_norms(
+        self,
+        relation_name: str,
+        v_attrs: Sequence[str],
+        u_attrs: Sequence[str],
+        ps: Sequence[float],
+    ) -> dict[float, float]:
+        """Cached log2 ℓp-norms for all ``ps`` of one degree sequence.
+
+        Misses are computed in a single vectorized batch
+        (:func:`repro.core.norms.log2_norms`): the log of the sequence is
+        taken once, not once per p.
+        """
+        v_key = tuple(sorted(v_attrs))
+        u_key = tuple(sorted(u_attrs))
+        missing = [
+            p for p in ps
+            if (relation_name, v_key, u_key, p) not in self._norms
+        ]
+        if missing:
+            sequence = self.sequence(relation_name, v_attrs, u_attrs)
+            for p, value in log2_norms(sequence, missing).items():
+                self._norms[(relation_name, v_key, u_key, p)] = value
+        return {
+            p: self._norms[(relation_name, v_key, u_key, p)] for p in ps
+        }
+
     # ------------------------------------------------------------------
     def _atom_statistics(
         self,
@@ -136,10 +163,13 @@ class StatisticsCatalog:
             if not others:
                 continue
             v_cols = [mapping[v] for v in sorted(others)]
+            norms = self.log2_norms(
+                atom.relation, v_cols, [mapping[var]], tuple(ps)
+            )
             for p in ps:
                 yield ConcreteStatistic(
                     AbstractStatistic(Conditional(others, frozenset({var})), p),
-                    self.log2_norm(atom.relation, v_cols, [mapping[var]], p),
+                    norms[p],
                     atom,
                 )
 

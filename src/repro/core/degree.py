@@ -37,10 +37,10 @@ def degree_sequence(
     (shared attributes contribute degree structure exactly as the
     projection-based definition prescribes).
     """
-    sizes = relation.group_sizes(tuple(u_attrs), tuple(v_attrs))
-    if not sizes:
+    counts = relation.group_size_counts(tuple(u_attrs), tuple(v_attrs))
+    if counts.size == 0:
         return np.zeros(0, dtype=np.int64)
-    out = np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+    out = counts.copy()
     out[::-1].sort()
     return out
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -163,6 +164,15 @@ def _solve(
     return linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
 
 
+@lru_cache(maxsize=None)
+def _neg_shannon_block(n: int) -> tuple[sparse.csr_matrix, int]:
+    """The memoised −A block of the elemental inequalities plus its row
+    count — rebuilt-per-call negation was the dominant setup cost of
+    repeated polymatroid bounds.  Read-only (``sparse.vstack`` copies)."""
+    shannon = elemental_inequalities(n)
+    return (-shannon).tocsr(), shannon.shape[0]
+
+
 def _polymatroid_lp(
     variables: tuple[str, ...],
     statistics: StatisticsSet,
@@ -182,11 +192,11 @@ def _polymatroid_lp(
         row, b = _stat_row(stat, index, size)
         stat_rows.append(row)
         b_stats.append(b)
-    shannon = elemental_inequalities(n)  # A·h ≥ 0
+    neg_shannon, shannon_rows = _neg_shannon_block(n)  # −A from A·h ≥ 0
     blocks = []
     if stat_rows:
         blocks.append(sparse.csr_matrix(np.array(stat_rows)))
-    blocks.append(-shannon)
+    blocks.append(neg_shannon)
     for vec in extra_inequalities:
         vec = np.asarray(vec, float)
         if vec.shape != (size,):
@@ -198,7 +208,7 @@ def _polymatroid_lp(
     b_ub = np.concatenate(
         [
             np.asarray(b_stats, float),
-            np.zeros(shannon.shape[0] + len(extra_inequalities)),
+            np.zeros(shannon_rows + len(extra_inequalities)),
         ]
     )
     c = np.zeros(size)

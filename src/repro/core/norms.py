@@ -21,6 +21,7 @@ from scipy.special import logsumexp
 
 __all__ = [
     "log2_norm",
+    "log2_norms",
     "lp_norm",
     "norms_of_sequence",
     "sequence_from_norms",
@@ -68,11 +69,53 @@ def lp_norm(degrees: Iterable[float], p: float) -> float:
         return math.inf
 
 
+def log2_norms(
+    degrees: Iterable[float], ps: Iterable[float]
+) -> dict[float, float]:
+    """log2 ℓp-norms for every p in ``ps``, in one vectorized batch.
+
+    ``log(d)`` is computed once and all finite p values are evaluated by a
+    single 2-D ``logsumexp`` (one row per p); results are bit-for-bit
+    identical to calling :func:`log2_norm` per p.
+    """
+    ps = list(ps)
+    d = _as_positive_array(degrees)
+    for p in ps:
+        if p != math.inf and p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+    if d.size == 0:
+        return {p: -math.inf for p in ps}
+    out: dict[float, float] = {}
+    finite = [p for p in ps if p != math.inf]
+    if finite:
+        p_arr = np.asarray(finite, dtype=float)
+        log_d = np.log(d)
+        batched = logsumexp(p_arr[:, None] * log_d[None, :], axis=1)
+        for p, value in zip(finite, batched / (p_arr * _LN2)):
+            out[p] = float(value)
+    if len(finite) != len(ps):
+        out[math.inf] = float(np.log2(d.max()))
+    return {p: out[p] for p in ps}
+
+
 def norms_of_sequence(
     degrees: Sequence[float], ps: Iterable[float]
 ) -> dict[float, float]:
-    """ℓp-norms (linear space) for each p in ``ps``."""
-    return {p: lp_norm(degrees, p) for p in ps}
+    """ℓp-norms (linear space) for each p in ``ps`` (batched; see
+    :func:`log2_norms`)."""
+    ps = list(ps)
+    logs = log2_norms(degrees, ps)
+    out: dict[float, float] = {}
+    for p in ps:
+        l2 = logs[p]
+        if l2 == -math.inf:
+            out[p] = 0.0
+        else:
+            try:
+                out[p] = 2.0 ** l2
+            except OverflowError:  # pragma: no cover - huge l2 only
+                out[p] = math.inf
+    return out
 
 
 def power_sums_from_norms(norms: Sequence[float]) -> list[float]:

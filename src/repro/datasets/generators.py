@@ -66,20 +66,34 @@ def power_law_graph(
         need = max(1024, 2 * (target - len(edges)))
         xs = zipf_values(need, num_nodes, exponent, rng)
         ys = zipf_values(need, num_nodes, exponent, rng)
-        for x, y in zip(xs.tolist(), ys.tolist()):
-            if x == y:
-                continue
-            edge = (x, y) if x < y else (y, x)
-            edges.add(edge)
+        # vectorized pre-filter: drop self-loops, canonicalise, and reduce
+        # the batch to its first-occurrence distinct edges so the Python
+        # loop (kept for exact insertion-order determinism against the
+        # accumulated set) only touches genuine candidates.
+        lo = np.minimum(xs, ys)
+        hi = np.maximum(xs, ys)
+        proper = lo != hi
+        lo, hi = lo[proper], hi[proper]
+        _, first = np.unique(lo * np.int64(num_nodes) + hi, return_index=True)
+        first.sort()
+        for x, y in zip(lo[first].tolist(), hi[first].tolist()):
+            edges.add((x, y))
             if len(edges) >= target:
                 break
         attempts += 1
-    rows: list[tuple[int, int]] = []
-    for x, y in edges:
-        rows.append((x, y))
-        if symmetric:
-            rows.append((y, x))
-    return Relation(("x", "y"), rows, name="edges")
+    # column-first materialization: both orientations interleaved exactly
+    # as the row loop produced them, deduplicated (vacuously) vectorized.
+    pairs = np.fromiter(
+        (v for edge in edges for v in edge), dtype=np.int64, count=2 * len(edges)
+    ).reshape(-1, 2)
+    if symmetric:
+        both = np.empty((2 * len(pairs), 2), dtype=np.int64)
+        both[0::2] = pairs
+        both[1::2] = pairs[:, ::-1]
+        pairs = both
+    return Relation.from_columns(
+        ("x", "y"), [pairs[:, 0], pairs[:, 1]], name="edges"
+    )
 
 
 def alpha_beta_relation(alpha: float, beta: float, m: int) -> Relation:

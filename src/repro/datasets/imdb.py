@@ -57,7 +57,9 @@ def _fk_table(
         zipf_values(rows, domain, exponent, rng)
         for domain, exponent in zip(domains, exponents)
     ]
-    return Relation(columns, zip(*(c.tolist() for c in data)))
+    # column-first: vectorized dedup in the columnar backend, no tuple
+    # round-trip (first-occurrence row order matches the tuple path).
+    return Relation.from_columns(columns, data)
 
 
 def imdb_database(scale: float = 1.0, seed: int = 7) -> Database:
@@ -77,21 +79,18 @@ def imdb_database(scale: float = 1.0, seed: int = 7) -> Database:
     genders, countries, pinfotypes, linktypes, cctypes = 3, 40, 30, 17, 4
 
     relations: dict[str, Relation] = {}
-    relations["title"] = Relation(
+    relations["title"] = Relation.from_columns(
         ("mid", "kind"),
-        zip(range(movies), zipf_values(movies, kinds, 0.6, rng).tolist()),
+        [np.arange(movies), zipf_values(movies, kinds, 0.6, rng)],
     )
     relations["kind_type"] = Relation(("kind",), ((k,) for k in range(kinds)))
     relations["movie_companies"] = _fk_table(
         rng, int(3 * movies), ("mid", "cid", "ctid"),
         (movies, companies, ctypes), (0.8, 0.7, 0.5),
     )
-    relations["company_name"] = Relation(
+    relations["company_name"] = Relation.from_columns(
         ("cid", "country"),
-        zip(
-            range(companies),
-            zipf_values(companies, countries, 0.9, rng).tolist(),
-        ),
+        [np.arange(companies), zipf_values(companies, countries, 0.9, rng)],
     )
     relations["company_type"] = Relation(
         ("ctid",), ((c,) for c in range(ctypes))
@@ -114,17 +113,14 @@ def imdb_database(scale: float = 1.0, seed: int = 7) -> Database:
         (movies, persons, roles), (0.85, 0.8, 0.5),
     )
     relations["role_type"] = Relation(("role",), ((r,) for r in range(roles)))
-    relations["name"] = Relation(
+    relations["name"] = Relation.from_columns(
         ("pid", "gender"),
-        zip(range(persons), zipf_values(persons, genders, 0.3, rng).tolist()),
+        [np.arange(persons), zipf_values(persons, genders, 0.3, rng)],
     )
     aka_rows = int(1.0 * movies)
-    relations["aka_name"] = Relation(
+    relations["aka_name"] = Relation.from_columns(
         ("pid", "aka"),
-        zip(
-            zipf_values(aka_rows, persons, 0.9, rng).tolist(),
-            range(aka_rows),
-        ),
+        [zipf_values(aka_rows, persons, 0.9, rng), np.arange(aka_rows)],
     )
     relations["person_info"] = _fk_table(
         rng, int(3 * movies), ("pid", "pit"), (persons, pinfotypes), (0.85, 0.6)
@@ -144,8 +140,8 @@ def imdb_database(scale: float = 1.0, seed: int = 7) -> Database:
         ("cc",), ((c,) for c in range(cctypes))
     )
     at_rows = max(20, int(0.4 * movies))
-    relations["aka_title"] = Relation(
+    relations["aka_title"] = Relation.from_columns(
         ("mid", "at"),
-        zip(zipf_values(at_rows, movies, 0.8, rng).tolist(), range(at_rows)),
+        [zipf_values(at_rows, movies, 0.8, rng), np.arange(at_rows)],
     )
     return Database(relations)

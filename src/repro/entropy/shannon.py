@@ -14,6 +14,7 @@ into the bound LP of Sec. 5 (Example 5.3).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from math import comb
 
 import numpy as np
@@ -36,9 +37,18 @@ def elemental_inequalities(n: int) -> sparse.csr_matrix:
 
     Columns are indexed by subset bitmask (column 0 is h(∅), always with
     coefficient 0 or cancelled; callers typically pin h(∅)=0).
+
+    The matrix is memoised per ``n`` (building the 2^n-column block is the
+    dominant setup cost of repeated ``lp_bound`` calls in a workload);
+    treat the returned matrix as read-only — copy before mutating.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
+    return _elemental_inequalities_cached(n)
+
+
+@lru_cache(maxsize=None)
+def _elemental_inequalities_cached(n: int) -> sparse.csr_matrix:
     size = 1 << n
     rows: list[int] = []
     cols: list[int] = []

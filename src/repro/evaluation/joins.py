@@ -1,11 +1,27 @@
 """Binary hash joins and join-tree evaluation for acyclic queries.
 
-These are the classical substrate algorithms: a hash join for two
-relations and a left-deep evaluation of a full conjunctive query.  The
-worst-case-optimal algorithm lives in :mod:`repro.evaluation.wcoj`; the
-hash-join path is kept both as an independent oracle for true
-cardinalities in tests and because acyclic JOB-style queries evaluate
-faster through it.
+These are the classical substrate algorithms: a binary natural join and a
+left-deep evaluation of a full conjunctive query.  The worst-case-optimal
+algorithm lives in :mod:`repro.evaluation.wcoj`; this path is kept both as
+an independent oracle for true cardinalities in tests and because acyclic
+JOB-style queries evaluate faster through it.
+
+Two implementations coexist:
+
+* :func:`hash_join_tuples` — the original dict-of-lists hash join over
+  Python tuples.  Works for arbitrary hashable values and serves as the
+  correctness oracle in the equivalence test-suite.
+* a columnar sort-merge join over dictionary-encoded ``int64`` columns
+  (:mod:`repro.relational.columnar`): right-side key columns are remapped
+  into the left dictionaries' code space (``searchsorted`` over the small
+  dictionaries), composite keys are matched with ``np.searchsorted`` over
+  a stable-sorted right side, and output rows are materialized as two
+  gather operations.  Output row *order* matches the tuple oracle exactly
+  (left-major, right rows in input order within a key).
+
+:func:`hash_join` dispatches to the columnar engine whenever both inputs
+encode, falling back silently otherwise; :func:`evaluate_left_deep` keeps
+the whole left-deep chain in code space, decoding only the final result.
 """
 
 from __future__ import annotations
@@ -13,10 +29,24 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
+import numpy as np
+
 from ..query.query import Atom, ConjunctiveQuery
 from ..relational import Database, Relation
+from ..relational.columnar import (
+    _MAX_RADIX,
+    ColumnarRelation,
+    composite_codes,
+    encode_rows,
+    remap_codes,
+)
 
-__all__ = ["hash_join", "evaluate_left_deep"]
+__all__ = [
+    "hash_join",
+    "hash_join_tuples",
+    "join_relations",
+    "evaluate_left_deep",
+]
 
 
 def _atom_rows(atom: Atom, db: Database) -> tuple[tuple[str, ...], list[tuple]]:
@@ -41,21 +71,25 @@ def _atom_rows(atom: Atom, db: Database) -> tuple[tuple[str, ...], list[tuple]]:
     return distinct_vars, rows
 
 
-def hash_join(
+# ----------------------------------------------------------------------
+# tuple oracle
+# ----------------------------------------------------------------------
+def hash_join_tuples(
     left_vars: Sequence[str],
     left_rows: list[tuple],
     right_vars: Sequence[str],
     right_rows: list[tuple],
 ) -> tuple[tuple[str, ...], list[tuple]]:
-    """Natural join of two variable-labelled row sets.
+    """Natural join of two variable-labelled row sets, tuple-at-a-time.
 
     Returns (output variables, output rows); output variables are the left
     variables followed by the right-only variables.
     """
     left_vars = tuple(left_vars)
     right_vars = tuple(right_vars)
-    shared = [v for v in right_vars if v in set(left_vars)]
-    right_only = [v for v in right_vars if v not in set(left_vars)]
+    left_set = frozenset(left_vars)
+    shared = [v for v in right_vars if v in left_set]
+    right_only = [v for v in right_vars if v not in left_set]
     out_vars = left_vars + tuple(right_only)
     left_key_pos = [left_vars.index(v) for v in shared]
     right_key_pos = [right_vars.index(v) for v in shared]
@@ -73,15 +107,240 @@ def hash_join(
     return out_vars, out_rows
 
 
+# ----------------------------------------------------------------------
+# columnar engine
+# ----------------------------------------------------------------------
+class _ColTable:
+    """A variable-labelled intermediate result in code space."""
+
+    __slots__ = ("vars", "codes", "dicts", "n_rows")
+
+    def __init__(self, vars, codes, dicts, n_rows):
+        self.vars = vars
+        self.codes = codes
+        self.dicts = dicts
+        self.n_rows = n_rows
+
+
+def _probably_encodable(rows: Sequence[tuple]) -> bool:
+    """First-row probe: plain-int rows are the only encodable kind.
+
+    False negatives are impossible (a non-int in row 0 fails the full
+    encode too); false positives just mean the encode attempts and falls
+    back as before.
+    """
+    if not rows:
+        return True
+    return all(type(value) is int for value in rows[0])
+
+
+def _table_of(columnar: ColumnarRelation) -> _ColTable:
+    """View a :class:`ColumnarRelation` as a positional ``_ColTable``."""
+    attrs = columnar.attributes
+    return _ColTable(
+        attrs,
+        [columnar.codes(a) for a in attrs],
+        [columnar.dictionary(a) for a in attrs],
+        columnar.n_rows,
+    )
+
+
+def _columnar_of(table: _ColTable) -> ColumnarRelation:
+    """View a ``_ColTable`` (with distinct vars) as a ColumnarRelation."""
+    return ColumnarRelation(
+        table.vars,
+        dict(zip(table.vars, table.codes)),
+        dict(zip(table.vars, table.dicts)),
+        table.n_rows,
+    )
+
+
+def _encode_table(
+    vars: Sequence[str], rows: Sequence[tuple]
+) -> _ColTable | None:
+    vars = tuple(vars)
+    if len(set(vars)) != len(vars):
+        # degenerate duplicate-variable labelling: tuple path handles it
+        return None
+    columnar = encode_rows(vars, rows)
+    return None if columnar is None else _table_of(columnar)
+
+
+def _atom_table(atom: Atom, db: Database) -> _ColTable | None:
+    """The atom's rows over its distinct variables, straight from the
+    relation's cached columnar twin (no tuple round-trip)."""
+    relation = db[atom.relation]
+    col = relation.columnar()
+    if col is None:
+        return None
+    attrs = relation.attributes
+    distinct_vars = tuple(dict.fromkeys(atom.variables))
+    first_pos: dict[str, int] = {}
+    repeated: dict[str, list[int]] = {}
+    for position, var in enumerate(atom.variables):
+        first_pos.setdefault(var, position)
+        repeated.setdefault(var, []).append(position)
+    mask = None
+    for var, positions in repeated.items():
+        base = attrs[positions[0]]
+        for position in positions[1:]:
+            other = attrs[position]
+            aligned = remap_codes(
+                col.codes(other), col.dictionary(other), col.dictionary(base)
+            )
+            eq = aligned == col.codes(base)
+            mask = eq if mask is None else (mask & eq)
+    if mask is not None:
+        keep = np.nonzero(mask)[0]
+        codes_list = [col.codes(attrs[first_pos[v]])[keep] for v in distinct_vars]
+        n = len(keep)
+    else:
+        codes_list = [col.codes(attrs[first_pos[v]]) for v in distinct_vars]
+        n = col.n_rows
+    dicts_list = [col.dictionary(attrs[first_pos[v]]) for v in distinct_vars]
+    return _ColTable(distinct_vars, codes_list, dicts_list, n)
+
+
+def _join_tables(left: _ColTable, right: _ColTable) -> _ColTable | None:
+    """Columnar natural join; ``None`` only on composite-radix overflow."""
+    left_set = frozenset(left.vars)
+    shared = [v for v in right.vars if v in left_set]
+    right_only = [v for v in right.vars if v not in left_set]
+    out_vars = left.vars + tuple(right_only)
+    left_pos = {v: i for i, v in enumerate(left.vars)}
+    right_pos = {v: i for i, v in enumerate(right.vars)}
+
+    if not shared:
+        left_idx = np.repeat(np.arange(left.n_rows), right.n_rows)
+        right_idx = np.tile(np.arange(right.n_rows), left.n_rows)
+    else:
+        cards = [len(left.dicts[left_pos[v]]) for v in shared]
+        radix = 1
+        for card in cards:
+            radix *= max(1, card)
+            if radix >= _MAX_RADIX:  # pragma: no cover - astronomically wide
+                return None
+        remapped = []
+        valid = None
+        for v in shared:
+            aligned = remap_codes(
+                right.codes[right_pos[v]],
+                right.dicts[right_pos[v]],
+                left.dicts[left_pos[v]],
+            )
+            ok = aligned >= 0
+            valid = ok if valid is None else (valid & ok)
+            remapped.append(aligned)
+        keep = np.nonzero(valid)[0]
+        right_keys, _ = composite_codes(
+            [a[keep] for a in remapped], cards, len(keep)
+        )
+        left_keys, _ = composite_codes(
+            [left.codes[left_pos[v]] for v in shared], cards, left.n_rows
+        )
+        order = np.argsort(right_keys, kind="stable")
+        sorted_keys = right_keys[order]
+        lo = np.searchsorted(sorted_keys, left_keys, side="left")
+        hi = np.searchsorted(sorted_keys, left_keys, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        left_idx = np.repeat(np.arange(left.n_rows), counts)
+        offsets = np.cumsum(counts) - counts
+        span = (
+            np.arange(total)
+            - np.repeat(offsets, counts)
+            + np.repeat(lo, counts)
+        )
+        right_idx = keep[order[span]]
+
+    codes_list = [c[left_idx] for c in left.codes]
+    dicts_list = list(left.dicts)
+    for v in right_only:
+        codes_list.append(right.codes[right_pos[v]][right_idx])
+        dicts_list.append(right.dicts[right_pos[v]])
+    return _ColTable(out_vars, codes_list, dicts_list, len(left_idx))
+
+
+def _decode_rows(table: _ColTable) -> list[tuple]:
+    return _columnar_of(table).decode_rows(table.vars)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def hash_join(
+    left_vars: Sequence[str],
+    left_rows: list[tuple],
+    right_vars: Sequence[str],
+    right_rows: list[tuple],
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """Natural join of two variable-labelled row sets.
+
+    Returns (output variables, output rows); output variables are the left
+    variables followed by the right-only variables.  Integer-valued inputs
+    run through the vectorized columnar engine; anything else falls back to
+    :func:`hash_join_tuples`.  Output rows and their order are identical
+    either way.
+    """
+    # cheap first-row type probe before paying for a full encode: on a
+    # mixed-type chain this keeps the fallback path from dictionary-
+    # encoding one (possibly huge) side only to discard the work when the
+    # other side turns out non-encodable.
+    if not (_probably_encodable(left_rows) and _probably_encodable(right_rows)):
+        return hash_join_tuples(left_vars, left_rows, right_vars, right_rows)
+    left = _encode_table(left_vars, left_rows)
+    right = _encode_table(right_vars, right_rows) if left is not None else None
+    if left is None or right is None:
+        return hash_join_tuples(left_vars, left_rows, right_vars, right_rows)
+    joined = _join_tables(left, right)
+    if joined is None:  # pragma: no cover - radix overflow
+        return hash_join_tuples(left_vars, left_rows, right_vars, right_rows)
+    return joined.vars, _decode_rows(joined)
+
+
+def _relation_table(relation: Relation) -> _ColTable | None:
+    col = relation.columnar()
+    return None if col is None else _table_of(col)
+
+
+def join_relations(left: Relation, right: Relation, name: str = "") -> Relation:
+    """Natural join of two relations on their shared attribute names.
+
+    The engine-level entry point: when both relations have columnar twins
+    the join runs entirely in code space and the result is returned as a
+    columnar-backed :class:`Relation` whose tuple rows materialize lazily —
+    statistics, further joins, and ``len()`` never pay for them.  Joining
+    two set-semantics relations cannot create duplicate rows, so no
+    deduplication pass is needed.
+    """
+    left_table = _relation_table(left)
+    right_table = _relation_table(right) if left_table is not None else None
+    joined = (
+        _join_tables(left_table, right_table)
+        if left_table is not None and right_table is not None
+        else None
+    )
+    if joined is None:
+        out_vars, out_rows = hash_join_tuples(
+            left.attributes, list(left), right.attributes, list(right)
+        )
+        return Relation._from_distinct_rows(out_vars, out_rows, name)
+    return Relation._from_columnar(_columnar_of(joined), name=name)
+
+
 def evaluate_left_deep(
     query: ConjunctiveQuery, db: Database, order: Sequence[int] | None = None
 ) -> Relation:
-    """Evaluate a full conjunctive query by a left-deep chain of hash joins.
+    """Evaluate a full conjunctive query by a left-deep chain of joins.
 
     ``order`` optionally permutes the atoms; by default atoms are joined
     greedily, always picking next an atom sharing a variable with the
     current partial result (falling back to a cartesian product only when
     the query is disconnected).
+
+    When every atom's relation has a columnar twin the entire chain runs in
+    code space and only the final result is decoded (column-first, through
+    :meth:`Relation.from_columns`); otherwise the tuple path is used.
     """
     atoms = list(query.atoms)
     if order is not None:
@@ -99,12 +358,31 @@ def evaluate_left_deep(
             ordered.append(pick)
             bound |= pick.variable_set
         atoms = ordered
+
+    target = query.variables
+    tables = [_atom_table(atom, db) for atom in atoms]
+    if all(t is not None for t in tables):
+        result = tables[0]
+        for table in tables[1:]:
+            result = _join_tables(result, table)
+            if result is None:  # pragma: no cover - radix overflow
+                break
+        if result is not None:
+            # a full CQ's output vars are exactly `target` (as a set), so
+            # reordering columns keeps rows distinct: wrap without decoding.
+            position = {v: i for i, v in enumerate(result.vars)}
+            columnar = ColumnarRelation(
+                target,
+                {v: result.codes[position[v]] for v in target},
+                {v: result.dicts[position[v]] for v in target},
+                result.n_rows,
+            )
+            return Relation._from_columnar(columnar, name=query.name)
+
     out_vars, out_rows = _atom_rows(atoms[0], db)
     for atom in atoms[1:]:
         r_vars, r_rows = _atom_rows(atom, db)
         out_vars, out_rows = hash_join(out_vars, out_rows, r_vars, r_rows)
-    # project to the canonical variable order of the query
-    target = query.variables
     positions = [out_vars.index(v) for v in target]
     return Relation(
         target,

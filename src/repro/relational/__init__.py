@@ -1,6 +1,12 @@
-"""Relational substrate: set-semantics relations and database instances."""
+"""Relational substrate: set-semantics relations and database instances.
 
+Integer-valued relations are backed by the dictionary-encoded columnar
+engine in :mod:`repro.relational.columnar`; relations over arbitrary
+hashable values transparently use the original tuple paths.
+"""
+
+from .columnar import ColumnarRelation
 from .database import Database
 from .relation import Relation
 
-__all__ = ["Relation", "Database"]
+__all__ = ["Relation", "Database", "ColumnarRelation"]

@@ -1,0 +1,332 @@
+"""Dictionary-encoded columnar backend for relations.
+
+The paper's standing assumption is that ℓp-norm statistics are cheap to
+precompute at scale; with rows stored as Python tuples the statistics
+kernels (``group_sizes``, projections, distinct counts, joins) run per-row
+Python loops and sit orders of magnitude off the hardware ceiling.  This
+module provides the vectorized substrate: every integer-valued relation
+lazily materializes one ``int64`` NumPy *code* array per column together
+with a sorted *dictionary* (the distinct values), i.e. a dictionary
+encoding ``value = dictionary[code]``.
+
+Key design points:
+
+* Dictionaries are sorted, so codes are order-preserving within a column
+  and two columns can be aligned with :func:`remap_codes` (a vectorized
+  ``searchsorted``) — the primitive behind the columnar hash join.
+* Multi-column keys are flattened to a single ``int64`` per row by
+  :func:`composite_codes` (mixed-radix over dictionary cardinalities,
+  re-factorized through ``np.unique`` whenever the radix product would
+  approach 2^63).
+* Grouping/deduplication is ``np.unique`` on composite keys; distinct
+  counts per group come from ``np.bincount`` — no Python-level loop ever
+  touches a row.
+
+Relations holding arbitrary hashable values (e.g. the tuple-tagged domains
+of :mod:`repro.tightness.normal_relations`) are *not* encodable:
+:func:`encode_rows` returns ``None`` and callers fall back to the original
+tuple-at-a-time paths, which remain the correctness oracle for the
+property-based equivalence suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ColumnarRelation",
+    "encode_column",
+    "encode_rows",
+    "remap_codes",
+    "composite_codes",
+]
+
+#: Radix products stay below this to keep composite keys overflow-free.
+_MAX_RADIX = 1 << 62
+
+_EMPTY_CODES = np.zeros(0, dtype=np.int64)
+
+
+def encode_column(values: Sequence) -> tuple[np.ndarray, np.ndarray] | None:
+    """Dictionary-encode one column of plain integers.
+
+    Returns ``(codes, dictionary)`` with ``dictionary`` sorted ascending and
+    ``dictionary[codes]`` reproducing the input, or ``None`` when the values
+    are not all int64-representable integers (floats, strings, tuples,
+    booleans, out-of-range ints — the fallback path).
+    """
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError, OverflowError):
+        return None
+    if arr.ndim != 1 or arr.dtype.kind not in "iu":
+        return None
+    if arr.dtype.kind == "u" and arr.dtype.itemsize >= 8:
+        if arr.size and arr.max() > np.iinfo(np.int64).max:
+            return None
+    arr = arr.astype(np.int64, copy=False)
+    dictionary, codes = np.unique(arr, return_inverse=True)
+    return codes.astype(np.int64, copy=False), dictionary
+
+
+def encode_rows(
+    attributes: Sequence[str], rows: Sequence[tuple]
+) -> "ColumnarRelation | None":
+    """Encode row-major tuples into a :class:`ColumnarRelation`.
+
+    Returns ``None`` if any column fails :func:`encode_column`.
+    """
+    attrs = tuple(attributes)
+    n = len(rows)
+    if n == 0:
+        return ColumnarRelation(
+            attrs,
+            {a: _EMPTY_CODES for a in attrs},
+            {a: _EMPTY_CODES for a in attrs},
+            0,
+        )
+    codes: dict[str, np.ndarray] = {}
+    dicts: dict[str, np.ndarray] = {}
+    for position, attr in enumerate(attrs):
+        encoded = encode_column([row[position] for row in rows])
+        if encoded is None:
+            return None
+        codes[attr], dicts[attr] = encoded
+    return ColumnarRelation(attrs, codes, dicts, n)
+
+
+def remap_codes(
+    codes: np.ndarray, source_dict: np.ndarray, target_dict: np.ndarray
+) -> np.ndarray:
+    """Re-express codes of ``source_dict`` in ``target_dict``'s code space.
+
+    Values absent from ``target_dict`` map to −1.  Vectorized: one
+    ``searchsorted`` over the (small) dictionaries plus one gather over the
+    rows — the primitive that aligns join columns encoded independently.
+    """
+    if len(target_dict) == 0:
+        return np.full(len(codes), -1, dtype=np.int64)
+    pos = np.searchsorted(target_dict, source_dict)
+    pos_clipped = np.minimum(pos, len(target_dict) - 1)
+    valid = target_dict[pos_clipped] == source_dict
+    mapping = np.where(valid, pos_clipped, np.int64(-1))
+    return mapping[codes]
+
+
+def composite_codes(
+    code_arrays: Sequence[np.ndarray],
+    cardinalities: Sequence[int],
+    n_rows: int,
+) -> tuple[np.ndarray, int]:
+    """Flatten multi-column codes to one comparable ``int64`` key per row.
+
+    Returns ``(keys, radix)`` with every key in ``[0, radix)``; equal rows
+    get equal keys.  Mixed-radix accumulation, re-factorized via
+    ``np.unique`` whenever the radix product would overflow — after
+    re-factorization the running radix is at most ``n_rows``, so any
+    realistic column count is safe.
+    """
+    if not code_arrays:
+        return np.zeros(n_rows, dtype=np.int64), 1
+    keys = code_arrays[0]
+    radix = max(1, int(cardinalities[0]))
+    for codes, card in zip(code_arrays[1:], cardinalities[1:]):
+        card = max(1, int(card))
+        if radix * card >= _MAX_RADIX:
+            uniq, keys = np.unique(keys, return_inverse=True)
+            keys = keys.astype(np.int64, copy=False)
+            radix = max(1, len(uniq))
+            if radix * card >= _MAX_RADIX:  # pragma: no cover - >2^31 rows
+                raise OverflowError("composite key radix exceeds int64")
+        keys = keys * card + codes
+        radix *= card
+    return keys, radix
+
+
+class ColumnarRelation:
+    """The encoded twin of a :class:`~repro.relational.relation.Relation`.
+
+    Holds per-attribute code arrays and sorted dictionaries; all operations
+    are NumPy-vectorized and return plain Python values (``int`` not
+    ``np.int64``) so results are bit-for-bit interchangeable with the tuple
+    oracle's.
+    """
+
+    __slots__ = ("attributes", "n_rows", "_codes", "_dicts")
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        codes: dict[str, np.ndarray],
+        dicts: dict[str, np.ndarray],
+        n_rows: int,
+    ) -> None:
+        self.attributes = attributes
+        self.n_rows = n_rows
+        self._codes = codes
+        self._dicts = dicts
+
+    def codes(self, attr: str) -> np.ndarray:
+        """The int64 code array of one column."""
+        return self._codes[attr]
+
+    def dictionary(self, attr: str) -> np.ndarray:
+        """The sorted distinct values (code -> value) of one column."""
+        return self._dicts[attr]
+
+    def renamed(self, mapping) -> "ColumnarRelation":
+        """Share the arrays under renamed attributes (zero copy)."""
+        attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        codes = {mapping.get(a, a): c for a, c in self._codes.items()}
+        dicts = {mapping.get(a, a): d for a, d in self._dicts.items()}
+        return ColumnarRelation(attrs, codes, dicts, self.n_rows)
+
+    # ------------------------------------------------------------------
+    # key construction and decoding
+    # ------------------------------------------------------------------
+    def key_codes(self, attrs: Sequence[str]) -> tuple[np.ndarray, int]:
+        """Composite int64 key per row over ``attrs`` (empty -> all zeros)."""
+        return composite_codes(
+            [self._codes[a] for a in attrs],
+            [len(self._dicts[a]) for a in attrs],
+            self.n_rows,
+        )
+
+    def decode_rows(
+        self, attrs: Sequence[str], indices: np.ndarray | None = None
+    ) -> list[tuple]:
+        """Materialize rows (all, or the selected indices) as tuples of
+        Python ints."""
+        if not attrs:
+            n = self.n_rows if indices is None else len(indices)
+            return [()] * n
+        if indices is None:
+            columns = [self._dicts[a][self._codes[a]].tolist() for a in attrs]
+        else:
+            columns = [
+                self._dicts[a][self._codes[a][indices]].tolist() for a in attrs
+            ]
+        return list(zip(*columns))
+
+    # ------------------------------------------------------------------
+    # vectorized statistics kernels
+    # ------------------------------------------------------------------
+    def group_size_counts(
+        self, group_attrs: Sequence[str], value_attrs: Sequence[str]
+    ) -> np.ndarray:
+        """Distinct ``value_attrs`` count per ``group_attrs`` group.
+
+        The counts come back ordered by composite group key — exactly the
+        multiset a degree sequence sorts, without decoding any group key.
+        """
+        counts, _, _ = self._grouped_distinct(group_attrs, value_attrs)
+        return counts
+
+    def group_sizes(
+        self, group_attrs: Sequence[str], value_attrs: Sequence[str]
+    ) -> dict[tuple, int]:
+        """Vectorized equivalent of ``Relation.group_sizes``."""
+        counts, group_keys, all_group_keys = self._grouped_distinct(
+            group_attrs, value_attrs
+        )
+        if counts.size == 0:
+            return {}
+        # one representative row index per distinct group key: np.unique on
+        # the full key column is sorted, hence aligned with `group_keys`.
+        _, first_row = np.unique(all_group_keys, return_index=True)
+        keys = self.decode_rows(tuple(group_attrs), first_row)
+        return dict(zip(keys, counts.tolist()))
+
+    def _grouped_distinct(
+        self, group_attrs: Sequence[str], value_attrs: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(counts per group, distinct group keys, per-row group keys)."""
+        gkeys, gradix = self.key_codes(tuple(group_attrs))
+        vkeys, vradix = self.key_codes(tuple(value_attrs))
+        if self.n_rows == 0:
+            return _EMPTY_CODES, _EMPTY_CODES, gkeys
+        if gradix * vradix >= _MAX_RADIX:
+            _, gkeys_d = np.unique(gkeys, return_inverse=True)
+            uniq_v, vkeys = np.unique(vkeys, return_inverse=True)
+            vradix = max(1, len(uniq_v))
+            pair_base = gkeys_d.astype(np.int64)
+        else:
+            pair_base = gkeys
+        # sort + run-length instead of np.unique: one O(N log N) sort gives
+        # both the distinct (group, value) pairs and, because the group is
+        # the high radix digit, the per-group runs in one pass.
+        keys = np.sort(pair_base * vradix + vkeys)
+        new_pair = np.empty(keys.shape, dtype=bool)
+        new_pair[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=new_pair[1:])
+        group_of_pair = keys[new_pair] // vradix
+        new_group = np.empty(group_of_pair.shape, dtype=bool)
+        new_group[0] = True
+        np.not_equal(group_of_pair[1:], group_of_pair[:-1], out=new_group[1:])
+        starts = np.nonzero(new_group)[0]
+        counts = np.diff(np.append(starts, len(group_of_pair)))
+        return counts.astype(np.int64), group_of_pair[new_group], gkeys
+
+    def distinct_count(self, attrs: Sequence[str]) -> int:
+        """Number of distinct composite values over ``attrs``."""
+        if self.n_rows == 0:
+            return 0
+        keys, _ = self.key_codes(tuple(attrs))
+        return int(len(np.unique(keys)))
+
+    def project_with_rows(
+        self, attrs: Sequence[str]
+    ) -> tuple[list[tuple], "ColumnarRelation"]:
+        """Projection as (deduplicated decoded rows, encoded twin).
+
+        Rows come first-occurrence first.  The twin reuses the sliced code
+        arrays and the existing dictionaries (dropping duplicate rows
+        cannot drop a dictionary value, so they stay valid), sparing the
+        projected relation a re-encode on its next columnar use.
+        """
+        attrs = tuple(attrs)
+        if self.n_rows == 0:
+            twin = ColumnarRelation(
+                attrs,
+                {a: _EMPTY_CODES for a in attrs},
+                {a: self._dicts[a] for a in attrs},
+                0,
+            )
+            return [], twin
+        keys, _ = self.key_codes(attrs)
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        twin = ColumnarRelation(
+            attrs,
+            {a: self._codes[a][first] for a in attrs},
+            {a: self._dicts[a] for a in attrs},
+            len(first),
+        )
+        return self.decode_rows(attrs, first), twin
+
+    def project_rows(self, attrs: Sequence[str]) -> list[tuple]:
+        """Deduplicated rows of the projection, first occurrence first."""
+        return self.project_with_rows(attrs)[0]
+
+    def present_value_arrays(self) -> list[np.ndarray]:
+        """Per column, the values actually occurring in some row.
+
+        Works from the code arrays, not the dictionaries: tables produced
+        by selections or joins share (superset) dictionaries with their
+        inputs, so only codes witness which values actually occur.
+        """
+        if not self.attributes or self.n_rows == 0:
+            return []
+        return [
+            self._dicts[a][np.unique(self._codes[a])] for a in self.attributes
+        ]
+
+    def active_domain(self) -> set:
+        """Union of all columns' value sets (as Python ints)."""
+        present = self.present_value_arrays()
+        if not present:
+            return set()
+        merged = np.unique(np.concatenate(present))
+        return set(merged.tolist())

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from .relation import Relation
 
 __all__ = ["Database"]
@@ -65,7 +67,21 @@ class Database:
         return sum(len(r) for r in self._relations.values())
 
     def active_domain_size(self) -> int:
-        """Size of the union of all columns' value sets (the paper's N)."""
+        """Size of the union of all columns' value sets (the paper's N).
+
+        When every relation has a columnar twin the union is one
+        ``np.unique`` over the concatenated per-column value arrays;
+        any non-encodable relation drops the whole computation to the
+        set-union fallback (the value spaces must unify exactly).
+        """
+        twins = [rel.columnar() for rel in self._relations.values()]
+        if twins and all(t is not None for t in twins):
+            arrays = [
+                arr for twin in twins for arr in twin.present_value_arrays()
+            ]
+            if not arrays:
+                return 0
+            return int(np.unique(np.concatenate(arrays)).size)
         domain = set()
         for rel in self._relations.values():
             domain.update(rel.active_domain())

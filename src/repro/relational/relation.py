@@ -11,12 +11,25 @@ Values may be any hashable Python objects.  Integer-only relations are the
 common case (graphs, synthetic benchmarks), but domain products
 (:mod:`repro.tightness.normal_relations`) produce tuple-valued attributes,
 so nothing here assumes integers.
+
+Integer-valued relations additionally carry a lazily built, cached
+columnar twin (:mod:`repro.relational.columnar`): dictionary-encoded
+``int64`` NumPy code arrays per column.  The statistics hot paths —
+``group_sizes``/``group_size_counts``, ``project``, ``distinct_count``,
+``active_domain`` — dispatch to vectorized kernels whenever the twin
+exists and transparently fall back to the original tuple-at-a-time
+implementations (kept as the correctness oracle, exercised directly by the
+equivalence test-suite) for relations holding non-integer values.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .columnar import ColumnarRelation, encode_column, encode_rows
 
 __all__ = ["Relation"]
 
@@ -41,7 +54,9 @@ class Relation:
     [(1,)]
     """
 
-    __slots__ = ("_attributes", "_rows", "_row_set", "_indexes", "_name")
+    __slots__ = (
+        "_attributes", "_rows", "_row_set", "_indexes", "_name", "_columnar",
+    )
 
     def __init__(
         self,
@@ -69,6 +84,7 @@ class Relation:
         self._row_set = seen
         self._indexes: dict = {}
         self._name = name
+        self._columnar: ColumnarRelation | None | bool = None
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -89,24 +105,26 @@ class Relation:
         return len(self._attributes)
 
     def __len__(self) -> int:
+        if self._rows is None:
+            return self._columnar.n_rows
         return len(self._rows)
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(self._rows)
+        return iter(self._materialized_rows())
 
     def __contains__(self, row) -> bool:
-        return tuple(row) in self._row_set
+        return tuple(row) in self._materialized_set()
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
         return (
             self._attributes == other._attributes
-            and self._row_set == other._row_set
+            and self._materialized_set() == other._materialized_set()
         )
 
     def __hash__(self) -> int:
-        return hash((self._attributes, frozenset(self._row_set)))
+        return hash((self._attributes, frozenset(self._materialized_set())))
 
     def __repr__(self) -> str:
         label = self._name or "Relation"
@@ -126,6 +144,108 @@ class Relation:
             raise ValueError("from_pairs requires exactly two attributes")
         return cls(attrs, pairs, name=name)
 
+    @classmethod
+    def from_columns(
+        cls,
+        attributes: Sequence[str],
+        columns: Sequence,
+        name: str = "",
+    ) -> "Relation":
+        """Build a relation column-first, deduplicating vectorized.
+
+        ``columns`` holds one sequence (list or NumPy array) per attribute.
+        Integer columns are deduplicated through the columnar backend's
+        composite keys — preserving first-occurrence row order exactly like
+        the row-at-a-time constructor — and skip the per-row Python loop
+        entirely; anything else falls back to the tuple constructor.
+        """
+        attrs = tuple(attributes)
+        cols = list(columns)
+        if len(cols) != len(attrs):
+            raise ValueError(
+                f"{len(cols)} columns for {len(attrs)} attributes"
+            )
+        lengths = {len(c) for c in cols}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        if not attrs:
+            return cls(attrs, [] if not cols else [], name=name)
+        encoded = [encode_column(c) for c in cols]
+        if any(e is None for e in encoded):
+            return cls(attrs, zip(*cols), name=name)
+        n = lengths.pop() if lengths else 0
+        from .columnar import composite_codes
+
+        keys, _ = composite_codes(
+            [codes for codes, _ in encoded],
+            [len(d) for _, d in encoded],
+            n,
+        )
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        decoded = [d[codes[first]].tolist() for codes, d in encoded]
+        rows = list(zip(*decoded))
+        out = cls._from_distinct_rows(attrs, rows, name)
+        # dropping duplicate rows cannot drop a dictionary value (its first
+        # row survives), so the encoding is exact — keep it instead of
+        # re-running encode_rows on the first columnar() call.
+        out._columnar = ColumnarRelation(
+            attrs,
+            {a: codes[first] for a, (codes, _) in zip(attrs, encoded)},
+            {a: d for a, (_, d) in zip(attrs, encoded)},
+            len(first),
+        )
+        return out
+
+    @classmethod
+    def _from_distinct_rows(
+        cls, attributes: tuple[str, ...], rows: list[tuple], name: str
+    ) -> "Relation":
+        """Internal: wrap rows already known distinct and well-formed."""
+        if len(set(attributes)) != len(attributes):
+            raise ValueError(f"duplicate attribute names in {attributes!r}")
+        out = cls.__new__(cls)
+        out._attributes = attributes
+        out._rows = tuple(rows)
+        out._row_set = set(rows)
+        out._indexes = {}
+        out._name = name
+        out._columnar = None
+        return out
+
+    @classmethod
+    def _from_columnar(
+        cls, columnar: ColumnarRelation, name: str = ""
+    ) -> "Relation":
+        """Internal: wrap an encoded table whose rows are known distinct.
+
+        Tuple materialization (``_rows``/``_row_set``) is deferred until
+        something row-oriented — iteration, membership, equality — asks
+        for it; the statistics paths and joins never do.
+        """
+        attributes = columnar.attributes
+        if len(set(attributes)) != len(attributes):
+            raise ValueError(f"duplicate attribute names in {attributes!r}")
+        out = cls.__new__(cls)
+        out._attributes = attributes
+        out._rows = None
+        out._row_set = None
+        out._indexes = {}
+        out._name = name
+        out._columnar = columnar
+        return out
+
+    def _materialized_rows(self) -> tuple:
+        """Row tuples, decoding the columnar twin on first use."""
+        if self._rows is None:
+            self._rows = tuple(self._columnar.decode_rows(self._attributes))
+        return self._rows
+
+    def _materialized_set(self) -> set:
+        if self._row_set is None:
+            self._row_set = set(self._materialized_rows())
+        return self._row_set
+
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Return a copy with attributes renamed via ``mapping``.
 
@@ -140,6 +260,11 @@ class Relation:
         out._row_set = self._row_set
         out._indexes = {}
         out._name = self._name
+        cached = self._columnar
+        if isinstance(cached, ColumnarRelation):
+            out._columnar = cached.renamed(mapping)
+        else:
+            out._columnar = cached
         return out
 
     def with_name(self, name: str) -> "Relation":
@@ -150,6 +275,7 @@ class Relation:
         out._row_set = self._row_set
         out._indexes = self._indexes
         out._name = name
+        out._columnar = self._columnar
         return out
 
     # ------------------------------------------------------------------
@@ -170,14 +296,28 @@ class Relation:
     def project(self, attrs: Sequence[str]) -> "Relation":
         """Project onto ``attrs`` (deduplicating)."""
         pos = self.positions(attrs)
-        rows = {tuple(row[i] for i in pos) for row in self._rows}
+        col = self.columnar()
+        if col is not None:
+            rows, twin = col.project_with_rows(tuple(attrs))
+            out = Relation._from_distinct_rows(tuple(attrs), rows, self._name)
+            out._columnar = twin
+            return out
+        return self._project_tuples(attrs, pos)
+
+    def _project_tuples(
+        self, attrs: Sequence[str], pos: tuple[int, ...]
+    ) -> "Relation":
+        """Tuple-oracle projection (fallback path)."""
+        rows = {
+            tuple(row[i] for i in pos) for row in self._materialized_rows()
+        }
         return Relation(tuple(attrs), rows, name=self._name)
 
     def select(self, predicate: Callable[[tuple], bool]) -> "Relation":
         """Keep rows on which ``predicate`` returns true."""
         return Relation(
             self._attributes,
-            (row for row in self._rows if predicate(row)),
+            (row for row in self._materialized_rows() if predicate(row)),
             name=self._name,
         )
 
@@ -191,6 +331,23 @@ class Relation:
     def restrict_rows(self, rows: Iterable[tuple]) -> "Relation":
         """Build a relation over the same attributes from given rows."""
         return Relation(self._attributes, rows, name=self._name)
+
+    # ------------------------------------------------------------------
+    # columnar backend
+    # ------------------------------------------------------------------
+    def columnar(self) -> ColumnarRelation | None:
+        """The cached dictionary-encoded twin, or ``None`` (fallback).
+
+        Encoding is attempted once per relation and the outcome — the
+        :class:`ColumnarRelation` or the fact that the values are not
+        int64-encodable — is cached; relations are immutable so the cache
+        never invalidates.
+        """
+        cached = self._columnar
+        if cached is None:
+            cached = encode_rows(self._attributes, self._rows)
+            self._columnar = cached if cached is not None else False
+        return cached or None
 
     # ------------------------------------------------------------------
     # indexes and statistics helpers
@@ -207,7 +364,7 @@ class Relation:
             return cached
         pos = self.positions(key)
         index: dict[tuple, list] = defaultdict(list)
-        for row in self._rows:
+        for row in self._materialized_rows():
             index[tuple(row[i] for i in pos)].append(row)
         index = dict(index)
         self._indexes[key] = index
@@ -226,26 +383,61 @@ class Relation:
         """
         gpos = self.positions(group_attrs)
         vpos = self.positions(value_attrs)
+        col = self.columnar()
+        if col is not None:
+            return col.group_sizes(tuple(group_attrs), tuple(value_attrs))
+        return self._group_sizes_tuples(gpos, vpos)
+
+    def _group_sizes_tuples(
+        self, gpos: tuple[int, ...], vpos: tuple[int, ...]
+    ) -> dict[tuple, int]:
+        """Tuple-oracle grouping (fallback path)."""
         groups: dict[tuple, set] = defaultdict(set)
-        for row in self._rows:
+        for row in self._materialized_rows():
             groups[tuple(row[i] for i in gpos)].add(
                 tuple(row[i] for i in vpos)
             )
         return {key: len(values) for key, values in groups.items()}
 
+    def group_size_counts(
+        self, group_attrs: Sequence[str], value_attrs: Sequence[str]
+    ) -> "np.ndarray":
+        """The multiset of :meth:`group_sizes` values as an int64 array.
+
+        This is all a degree sequence needs; the columnar path never
+        decodes group keys.  Order is unspecified (callers sort).
+        """
+        gpos = self.positions(group_attrs)
+        vpos = self.positions(value_attrs)
+        col = self.columnar()
+        if col is not None:
+            return col.group_size_counts(
+                tuple(group_attrs), tuple(value_attrs)
+            )
+        sizes = self._group_sizes_tuples(gpos, vpos)
+        return np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+
     def distinct_count(self, attrs: Sequence[str]) -> int:
         """Number of distinct values in the projection onto ``attrs``."""
         pos = self.positions(attrs)
-        return len({tuple(row[i] for i in pos) for row in self._rows})
+        col = self.columnar()
+        if col is not None:
+            return col.distinct_count(tuple(attrs))
+        return len(
+            {tuple(row[i] for i in pos) for row in self._materialized_rows()}
+        )
 
     def active_domain(self) -> set:
         """All values appearing in any column."""
+        col = self.columnar()
+        if col is not None:
+            return col.active_domain()
         domain = set()
-        for row in self._rows:
+        for row in self._materialized_rows():
             domain.update(row)
         return domain
 
     def column(self, attr: str) -> list:
         """All values (with repetitions removed row-wise) of one column."""
         (pos,) = self.positions((attr,))
-        return [row[pos] for row in self._rows]
+        return [row[pos] for row in self._materialized_rows()]

@@ -1,0 +1,230 @@
+"""Property-based equivalence: columnar backend vs the tuple oracle.
+
+Every vectorized kernel must match the original tuple-at-a-time
+implementation bit-for-bit — same values (Python ints, not np.int64),
+same dict contents, same relations, and for joins the same output rows in
+the same order.  Randomized relations cover empty relations, ``U = ∅`` /
+``V = ∅`` conditionals, repeated/overlapping attribute sets, and
+non-integer values that must take the fallback path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.degree import degree_sequence
+from repro.core.norms import log2_norm, log2_norms, lp_norm, norms_of_sequence
+from repro.evaluation.joins import hash_join, hash_join_tuples, join_relations
+from repro.relational import Relation
+from repro.relational.columnar import encode_column, remap_codes
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+values = st.integers(-3, 6)
+rows3 = st.lists(st.tuples(values, values, values), max_size=40)
+
+# mixed-type rows exercise the fallback path (tuples/strings/floats)
+fallback_value = st.one_of(
+    st.integers(0, 4),
+    st.tuples(st.integers(0, 2), st.integers(0, 2)),
+    st.sampled_from(["a", "b"]),
+)
+fallback_rows = st.lists(st.tuples(fallback_value, fallback_value), max_size=20)
+
+ATTR_CHOICES = [
+    ((), ()),
+    ((), ("a",)),
+    ((), ("b", "c")),
+    (("a",), ()),
+    (("a",), ("b",)),
+    (("a",), ("b", "c")),
+    (("a", "b"), ("c",)),
+    (("c", "a"), ("b",)),
+    (("a", "b", "c"), ("a",)),  # overlapping U and V
+]
+
+
+def oracle_group_sizes(relation, group_attrs, value_attrs):
+    return relation._group_sizes_tuples(
+        relation.positions(group_attrs), relation.positions(value_attrs)
+    )
+
+
+class TestGroupingEquivalence:
+    @SETTINGS
+    @given(rows3)
+    def test_group_sizes_matches_oracle(self, rows):
+        r = Relation(("a", "b", "c"), rows)
+        assert r.columnar() is not None
+        for group_attrs, value_attrs in ATTR_CHOICES:
+            got = r.group_sizes(group_attrs, value_attrs)
+            expected = oracle_group_sizes(r, group_attrs, value_attrs)
+            assert got == expected
+            for key, count in got.items():
+                assert all(type(v) is int for v in key)
+                assert type(count) is int
+
+    @SETTINGS
+    @given(rows3)
+    def test_degree_sequence_matches_oracle(self, rows):
+        r = Relation(("a", "b", "c"), rows)
+        for u_attrs, v_attrs in ATTR_CHOICES:
+            sizes = oracle_group_sizes(r, u_attrs, v_attrs)
+            expected = np.sort(
+                np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+            )[::-1]
+            got = degree_sequence(r, v_attrs, u_attrs)
+            assert got.dtype == np.int64
+            assert np.array_equal(got, expected)
+
+    @SETTINGS
+    @given(rows3)
+    def test_project_and_distinct_count_match_oracle(self, rows):
+        r = Relation(("a", "b", "c"), rows)
+        for attrs in [("a",), ("b", "a"), ("a", "b", "c"), ("c", "b")]:
+            expected = r._project_tuples(attrs, r.positions(attrs))
+            got = r.project(attrs)
+            assert got == expected
+            assert set(map(type, (v for row in got for v in row))) <= {int}
+            assert r.distinct_count(attrs) == len(expected)
+
+    @SETTINGS
+    @given(rows3)
+    def test_active_domain_matches_oracle(self, rows):
+        r = Relation(("a", "b", "c"), rows)
+        assert r.active_domain() == {v for row in rows for v in row}
+
+
+class TestFallbackPath:
+    @SETTINGS
+    @given(fallback_rows)
+    def test_mixed_values_fall_back_and_agree(self, rows):
+        r = Relation(("x", "y"), rows)
+        # whichever path is taken, results must match the oracle
+        assert r.group_sizes(("x",), ("y",)) == oracle_group_sizes(
+            r, ("x",), ("y",)
+        )
+        assert r.project(("y",)) == r._project_tuples(("y",), r.positions(("y",)))
+        assert r.distinct_count(("y", "x")) == len(set(r))
+
+    def test_tuple_values_are_not_encodable(self):
+        r = Relation(("x", "y"), [((0, 1), 2), ((0, 2), 3)])
+        assert r.columnar() is None
+        assert r.group_sizes(("x",), ("y",)) == {((0, 1),): 1, ((0, 2),): 1}
+
+    def test_floats_strings_bools_not_encodable(self):
+        for value in [1.5, "s", True]:
+            assert encode_column([value, value]) is None
+
+    def test_huge_ints_fall_back(self):
+        r = Relation(("x",), [(2 ** 70,), (5,)])
+        assert r.columnar() is None
+        assert r.distinct_count(("x",)) == 2
+
+
+class TestEdgeCases:
+    def test_empty_relation(self):
+        r = Relation(("x", "y"), [])
+        assert r.columnar() is not None
+        assert r.group_sizes(("x",), ("y",)) == {}
+        assert degree_sequence(r, ["y"], ["x"]).size == 0
+        assert r.distinct_count(("x",)) == 0
+        assert len(r.project(("y",))) == 0
+        assert r.active_domain() == set()
+
+    def test_u_empty_is_distinct_count(self):
+        r = Relation(("x", "y"), [(1, 2), (1, 3), (4, 3)])
+        seq = degree_sequence(r, ["y"], [])
+        assert seq.tolist() == [2]
+        assert r.group_sizes((), ("y",)) == {(): 2}
+
+    def test_v_empty_is_all_ones(self):
+        r = Relation(("x", "y"), [(1, 2), (1, 3), (4, 3)])
+        seq = degree_sequence(r, [], ["x"])
+        assert seq.tolist() == [1, 1]
+        assert r.group_sizes(("x",), ()) == {(1,): 1, (4,): 1}
+
+    def test_remap_codes_empty_target(self):
+        codes = np.array([0, 1], dtype=np.int64)
+        source = np.array([5, 9], dtype=np.int64)
+        target = np.zeros(0, dtype=np.int64)
+        assert remap_codes(codes, source, target).tolist() == [-1, -1]
+
+
+join_rows = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=25
+)
+
+
+class TestJoinEquivalence:
+    @SETTINGS
+    @given(join_rows, join_rows)
+    def test_hash_join_matches_tuple_oracle(self, left, right):
+        for lv, rv in [
+            (("x", "y"), ("y", "z")),
+            (("x", "y"), ("x", "y")),
+            (("x", "y"), ("z", "w")),  # cartesian
+            (("x", "y"), ("y", "x")),
+        ]:
+            got = hash_join(lv, left, rv, right)
+            expected = hash_join_tuples(lv, left, rv, right)
+            assert got == expected  # same vars, same rows, same order
+
+    @SETTINGS
+    @given(join_rows, join_rows)
+    def test_join_relations_matches_tuple_oracle(self, left, right):
+        r = Relation(("x", "y"), left)
+        s = Relation(("y", "z"), right)
+        out = join_relations(r, s)
+        out_vars, out_rows = hash_join_tuples(
+            r.attributes, list(r), s.attributes, list(s)
+        )
+        assert out.attributes == out_vars
+        assert list(out) == out_rows  # lazily decoded, identical order
+        assert len(out) == len(out_rows)
+
+    def test_join_relations_fallback_values(self):
+        r = Relation(("x", "y"), [(("t",), 2)])
+        s = Relation(("y", "z"), [(2, "s")])
+        out = join_relations(r, s)
+        assert list(out) == [(("t",), 2, "s")]
+
+    @SETTINGS
+    @given(join_rows)
+    def test_joined_relation_statistics_match(self, rows):
+        """A lazily-backed join result must behave like a plain Relation."""
+        r = Relation(("x", "y"), rows)
+        s = Relation(("y", "z"), rows)
+        out = join_relations(r, s)
+        plain = Relation(out.attributes, list(out))
+        assert out == plain
+        assert out.group_sizes(("x",), ("z",)) == oracle_group_sizes(
+            plain, ("x",), ("z",)
+        )
+        assert out.active_domain() == plain.active_domain()
+        assert out.distinct_count(("y",)) == plain.distinct_count(("y",))
+
+
+class TestNormBatching:
+    @SETTINGS
+    @given(st.lists(st.integers(1, 10 ** 6), min_size=0, max_size=200))
+    def test_log2_norms_matches_per_p(self, degrees):
+        ps = [0.5, 1.0, 2.0, 3.0, 7.5, 30.0, math.inf]
+        batched = log2_norms(degrees, ps)
+        assert set(batched) == set(ps)
+        for p in ps:
+            assert batched[p] == log2_norm(degrees, p)
+
+    @SETTINGS
+    @given(st.lists(st.integers(1, 10 ** 4), min_size=1, max_size=50))
+    def test_norms_of_sequence_matches_lp_norm(self, degrees):
+        ps = [1.0, 2.0, 4.0, math.inf]
+        assert norms_of_sequence(degrees, ps) == {
+            p: lp_norm(degrees, p) for p in ps
+        }
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            log2_norms([1.0, 2.0], [0.0])
