@@ -4,9 +4,29 @@ Regenerates: the metered partitioned evaluation of the one-join and
 triangle workloads.  Asserts: the partitioned algorithm's output equals
 the direct join's, and the metered work stays within the Theorem 2.6
 budget (up to the allowed polylog slack).
+
+Also characterises the columnar WCOJ against its tuple oracle on the
+triangle and Loomis–Whitney counting workloads (the acceptance hot paths
+of the sorted-codes engine), with a conservative speedup guard that runs
+even in single-round CI smoke mode.
 """
 
+import time
+
+import pytest
+
+from repro.datasets import snap_database
+from repro.evaluation import generic_join, generic_join_tuples
 from repro.experiments.evaluation_runtime import run_evaluation_experiment
+from repro.query import parse_query
+
+TRIANGLE = parse_query("t(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+LOOMIS_WHITNEY = parse_query("lw(x,y,z) :- R(x,y), R(y,z), R(x,z)")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return snap_database("ca-GrQc")
 
 
 def test_bench_evaluation_runtime(once):
@@ -18,3 +38,56 @@ def test_bench_evaluation_runtime(once):
         assert r.output_matches
         assert r.within_budget
         assert r.parts_evaluated > 1  # the partitioning actually happened
+
+
+def test_bench_wcoj_triangle_columnar(benchmark, db):
+    """Triangle counting through the vectorized sorted-codes engine."""
+    run = benchmark(generic_join, TRIANGLE, db)
+    assert run.count > 0
+
+
+def test_bench_wcoj_triangle_tuple_oracle(benchmark, db):
+    """The same triangle count through the dict-trie oracle (the before)."""
+    run = benchmark(generic_join_tuples, TRIANGLE, db)
+    assert run.count > 0
+
+
+def test_bench_wcoj_loomis_whitney_columnar(benchmark, db):
+    """LW(3) counting through the vectorized sorted-codes engine."""
+    run = benchmark(generic_join, LOOMIS_WHITNEY, db)
+    assert run.count > 0
+
+
+def test_bench_wcoj_loomis_whitney_tuple_oracle(benchmark, db):
+    """The same LW(3) count through the dict-trie oracle."""
+    run = benchmark(generic_join_tuples, LOOMIS_WHITNEY, db)
+    assert run.count > 0
+
+
+def test_wcoj_speedup_guard(db):
+    """Perf regression guard (runs even in single-round CI smoke mode).
+
+    The columnar WCOJ must stay well ahead of the tuple oracle on both
+    counting workloads; thresholds are conservative against the ≥10×
+    measured locally so a contended shared CI runner doesn't turn an
+    unrelated PR red.  Outputs and meters must agree exactly.
+    """
+
+    def best_of(fn, *args, repeats=3):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(*args)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    for query in (TRIANGLE, LOOMIS_WHITNEY):
+        fast_run = generic_join(query, db)  # warm the trie cache
+        slow_run = generic_join_tuples(query, db)
+        assert set(fast_run.output) == set(slow_run.output)
+        assert fast_run.nodes_visited == slow_run.nodes_visited
+        fast = best_of(generic_join, query, db)
+        slow = best_of(generic_join_tuples, query, db, repeats=2)
+        assert slow / fast >= 4.0, (
+            f"{query.name} WCOJ speedup collapsed: {slow / fast:.1f}x"
+        )

@@ -34,7 +34,9 @@ def test_bench_job_figure1(once):
         assert math.inf in r.norms_used  # PK-FK joins ⇒ ℓ∞ everywhere
         used_norms.update(r.norms_used)
     # aggregate separations: ours beats PANDA and AGM by large factors
-    geo = lambda vals: math.exp(sum(math.log(v) for v in vals) / len(vals))
+    def geo(vals):
+        return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
     assert geo([r.ratio_panda / r.ratio_ours for r in rows]) > 3.0
     assert geo([r.ratio_agm / r.ratio_ours for r in rows]) > 1e3
     # a wide variety of finite norms is used across the workload

@@ -157,3 +157,30 @@ def test_bench_wcoj_triangle(benchmark):
 def test_bench_acyclic_count_path(benchmark, db):
     count = benchmark(acyclic_count, PATH4, db)
     assert count > 0
+
+
+def test_bench_acyclic_count_path_tuple_oracle(benchmark, db):
+    """The dict-based counting sweep, as a before/after yardstick."""
+    from repro.evaluation import acyclic_count_tuples
+
+    count = benchmark(acyclic_count_tuples, PATH4, db)
+    assert count == acyclic_count(PATH4, db)
+
+
+PATH3 = parse_query("p(a,b,c,d) :- R(a,b), R(b,c), R(c,d)")
+
+
+def test_bench_semijoin_reduce(benchmark, db):
+    """Yannakakis two-sweep reduction through the columnar masks."""
+    from repro.evaluation import semijoin_reduce
+
+    reduced = benchmark(semijoin_reduce, PATH3, db)
+    assert len(reduced["R"]) <= len(db["R"])
+
+
+def test_bench_semijoin_reduce_tuple_oracle(benchmark, db):
+    """The same reduction through the tuple row-set sweeps."""
+    from repro.evaluation import semijoin_reduce_tuples
+
+    reduced = benchmark(semijoin_reduce_tuples, PATH3, db)
+    assert len(reduced["R"]) <= len(db["R"])

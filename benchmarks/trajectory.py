@@ -1,0 +1,156 @@
+"""Bench-trajectory tooling: normalize, compare, and rebase BENCH_*.json.
+
+CI runs the micro and evaluation benchmarks with ``--benchmark-json`` on
+every push, then uses this script to
+
+1. ``normalize`` the raw pytest-benchmark dump into a compact
+   ``BENCH_<sha>.json`` trajectory artifact (one median per benchmark,
+   plus a *machine-speed-normalized* ratio against a designated
+   calibration benchmark — a pure tuple-at-a-time workload whose absolute
+   time tracks the host's Python speed), and
+2. ``compare`` the normalized medians against the committed baseline
+   (``benchmarks/BENCH_baseline.json``), failing the job when any tracked
+   benchmark regresses beyond the tolerance (default 1.5×).
+
+Comparing *normalized* ratios rather than raw seconds keeps the guard
+meaningful across differently-provisioned CI runners: a uniformly slow
+machine scales the calibration median by the same factor.  ``rebase``
+regenerates the baseline after an intentional performance change.
+
+Usage::
+
+    python benchmarks/trajectory.py normalize RAW.json --sha SHA -o OUT.json
+    python benchmarks/trajectory.py compare OUT.json [--baseline B] [--tolerance 1.5]
+    python benchmarks/trajectory.py rebase RAW.json
+
+Only the standard library is used; no repo imports (the script must run
+before PYTHONPATH is set up).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The machine-speed yardstick: a pure-Python tuple-at-a-time workload.
+CALIBRATION = "benchmarks/bench_micro.py::test_bench_degree_sequence_tuple_oracle"
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+
+def normalize(raw_path: str, sha: str) -> dict:
+    """Compact {benchmark -> median, normalized} from a raw benchmark dump."""
+    with open(raw_path) as handle:
+        raw = json.load(handle)
+    medians = {
+        bench["fullname"]: {
+            "median_s": bench["stats"]["median"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in raw["benchmarks"]
+    }
+    if CALIBRATION not in medians:
+        raise SystemExit(
+            f"calibration benchmark {CALIBRATION!r} missing from {raw_path}"
+        )
+    calibration = medians[CALIBRATION]["median_s"]
+    for entry in medians.values():
+        entry["normalized"] = entry["median_s"] / calibration
+    return {
+        "sha": sha,
+        "calibration": CALIBRATION,
+        "calibration_median_s": calibration,
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "benchmarks": medians,
+    }
+
+
+def compare(
+    current_path: str,
+    baseline_path: str,
+    tolerance: float,
+    min_rounds: int = 5,
+) -> int:
+    """Exit non-zero when a tracked normalized median regresses.
+
+    Benchmarks present only on one side are reported but never fail the
+    job (new benchmarks enter the baseline at the next rebase), and
+    benchmarks timed with fewer than ``min_rounds`` rounds on either side
+    (e.g. the one-shot experiment regenerations) are informational only —
+    a single-sample median is too noisy to gate on.
+    """
+    with open(current_path) as handle:
+        current = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    print(f"baseline {baseline['sha']} -> current {current['sha']} "
+          f"(tolerance {tolerance:.2f}x on normalized medians)")
+    for name, base in sorted(baseline["benchmarks"].items()):
+        entry = current["benchmarks"].get(name)
+        if entry is None:
+            print(f"  [gone]    {name}")
+            continue
+        ratio = entry["normalized"] / base["normalized"]
+        flag = "  OK      "
+        if min(entry["rounds"], base["rounds"]) < min_rounds:
+            flag = "  [info]   "
+        elif ratio > tolerance:
+            flag = "  REGRESS "
+            failures.append((name, ratio))
+        print(f"{flag}{name}: {entry['median_s'] * 1e3:.3f} ms "
+              f"({ratio:.2f}x of baseline)")
+    for name in sorted(set(current["benchmarks"]) - set(baseline["benchmarks"])):
+        print(f"  [new]     {name}: "
+              f"{current['benchmarks'][name]['median_s'] * 1e3:.3f} ms")
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{tolerance:.2f}x:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    norm = sub.add_parser("normalize", help="raw dump -> BENCH_<sha>.json")
+    norm.add_argument("raw")
+    norm.add_argument("--sha", required=True)
+    norm.add_argument("-o", "--output", required=True)
+
+    comp = sub.add_parser("compare", help="guard against median regressions")
+    comp.add_argument("current")
+    comp.add_argument("--baseline", default=str(BASELINE_PATH))
+    comp.add_argument("--tolerance", type=float, default=1.5)
+    comp.add_argument("--min-rounds", type=int, default=5)
+
+    rebase = sub.add_parser("rebase", help="raw dump -> committed baseline")
+    rebase.add_argument("raw")
+    rebase.add_argument("--sha", default="baseline")
+
+    args = parser.parse_args(argv)
+    if args.command == "normalize":
+        result = normalize(args.raw, args.sha)
+        Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.output} ({len(result['benchmarks'])} benchmarks)")
+        return 0
+    if args.command == "compare":
+        return compare(
+            args.current, args.baseline, args.tolerance, args.min_rounds
+        )
+    if args.command == "rebase":
+        result = normalize(args.raw, args.sha)
+        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH} ({len(result['benchmarks'])} benchmarks)")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

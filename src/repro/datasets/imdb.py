@@ -130,7 +130,7 @@ def imdb_database(scale: float = 1.0, seed: int = 7) -> Database:
         (movies, movies, linktypes), (0.8, 0.8, 0.4),
     )
     relations["link_type"] = Relation(
-        ("lt",), ((l,) for l in range(linktypes))
+        ("lt",), ((lt,) for lt in range(linktypes))
     )
     relations["complete_cast"] = _fk_table(
         rng, max(20, int(0.5 * movies)), ("mid", "cc"), (movies, cctypes),

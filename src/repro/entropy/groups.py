@@ -20,7 +20,6 @@ parity vector.
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Sequence
 
 import numpy as np

@@ -17,7 +17,6 @@ Properties (tested):
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

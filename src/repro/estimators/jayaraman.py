@@ -17,7 +17,6 @@ value for the counterexample analysis, and the Theorem B.2 validity test.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..core.conditionals import (
@@ -27,7 +26,7 @@ from ..core.conditionals import (
     StatisticsSet,
 )
 from ..core.degree import degree_sequence
-from ..core.lp_bound import BoundResult, lp_bound
+from ..core.lp_bound import lp_bound
 from ..core.norms import log2_norm
 from ..query.hypergraph import girth
 from ..query.query import ConjunctiveQuery

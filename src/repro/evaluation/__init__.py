@@ -1,6 +1,6 @@
 """Query evaluation: hash joins, WCOJ, and the Theorem 2.6 algorithm."""
 
-from .acyclic_count import acyclic_count, join_tree
+from .acyclic_count import acyclic_count, acyclic_count_tuples, join_tree
 from .joins import evaluate_left_deep, hash_join
 from .lp_join import PartitionedRun, evaluate_with_partitioning
 from .panda_algorithm import evaluate_part, theorem26_log2_budget
@@ -9,15 +9,17 @@ from .partitioning import (
     partition_for_statistic,
     strongly_satisfies,
 )
-from .wcoj import JoinRun, count_query, generic_join
-from .yannakakis import semijoin_reduce
+from .wcoj import JoinRun, count_query, generic_join, generic_join_tuples
+from .yannakakis import semijoin_reduce, semijoin_reduce_tuples
 
 __all__ = [
     "acyclic_count",
+    "acyclic_count_tuples",
     "join_tree",
     "hash_join",
     "evaluate_left_deep",
     "generic_join",
+    "generic_join_tuples",
     "count_query",
     "JoinRun",
     "strongly_satisfies",
@@ -28,4 +30,5 @@ __all__ = [
     "evaluate_with_partitioning",
     "PartitionedRun",
     "semijoin_reduce",
+    "semijoin_reduce_tuples",
 ]

@@ -16,17 +16,33 @@ assignments to its variables, so ``weight_i(row)`` is exactly the number
 of distinct extensions of ``row`` to the variables of i's subtree — and
 the root's weight sum is |Q(D)|.  Counts are exact Python integers, so
 astronomically large outputs are fine.
+
+Two sweeps coexist: :func:`acyclic_count_tuples`, the original dict-based
+fold (correctness oracle, non-integer fallback), and a columnar engine
+that remaps each separator into the parent's code space, flattens it to
+one ``int64`` key per row, and folds with ``argsort`` + ``add.reduceat``.
+Weights start as ``int64`` arrays and are promoted to exact Python-int
+(object dtype) arrays the moment an a-priori bound says a sum or product
+*could* leave the ``int64`` range, so results match the oracle's
+arbitrary-precision arithmetic bit for bit.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+import numpy as np
+
 from ..query.query import ConjunctiveQuery
 from ..relational import Database
-from .joins import _atom_rows
+from ..relational.columnar import align_composite_keys, mixed_radix_keys
+from .joins import _atom_rows, _atom_table
 
-__all__ = ["acyclic_count", "join_tree"]
+__all__ = ["acyclic_count", "acyclic_count_tuples", "join_tree"]
+
+#: Promote int64 weight arrays to exact object arrays before any
+#: intermediate could reach this bound (sums of products of counts).
+_SAFE_INT64 = 1 << 62
 
 
 def join_tree(query: ConjunctiveQuery) -> list[tuple[int, int | None]]:
@@ -67,6 +83,107 @@ def join_tree(query: ConjunctiveQuery) -> list[tuple[int, int | None]]:
 def acyclic_count(query: ConjunctiveQuery, db: Database) -> int:
     """|Q(D)| for an α-acyclic full conjunctive query, exactly."""
     tree = join_tree(query)
+    count = _acyclic_count_columnar(query, db, tree)
+    if count is not None:
+        return count
+    return _acyclic_count_tuples(query, db, tree)
+
+
+def acyclic_count_tuples(query: ConjunctiveQuery, db: Database) -> int:
+    """The dict-based counting sweep (correctness oracle / fallback)."""
+    return _acyclic_count_tuples(query, db, join_tree(query))
+
+
+def _acyclic_count_columnar(
+    query: ConjunctiveQuery, db: Database, tree: list[tuple[int, int | None]]
+) -> int | None:
+    """The vectorized counting sweep; ``None`` means fall back."""
+    atoms = list(query.atoms)
+    tables = [_atom_table(atom, db) for atom in atoms]
+    if any(table is None for table in tables):
+        return None
+    weights: list[np.ndarray] = [
+        np.ones(table.n_rows, dtype=np.int64) for table in tables
+    ]
+    # exact upper bound on any single weight entry, per atom (Python int,
+    # so it never overflows): governs int64 -> object promotion.
+    weight_bound = [1] * len(atoms)
+
+    for atom_idx, parent_idx in tree:
+        table, w = tables[atom_idx], weights[atom_idx]
+        if parent_idx is None:
+            if table.n_rows == 0:
+                return 0
+            if (
+                w.dtype == object
+                or weight_bound[atom_idx] * table.n_rows >= _SAFE_INT64
+            ):
+                return int(sum(int(x) for x in w))
+            return int(w.sum())
+        parent = tables[parent_idx]
+        p_pos = {v: i for i, v in enumerate(parent.vars)}
+        parent_vars = set(parent.vars)
+        separator = [v for v in table.vars if v in parent_vars]
+        t_pos = {v: i for i, v in enumerate(table.vars)}
+
+        # child separator keys in the parent's code space
+        cards = [len(parent.dicts[p_pos[v]]) for v in separator]
+        p_keys = mixed_radix_keys(
+            [parent.codes[p_pos[v]] for v in separator], cards
+        )
+        if p_keys is None:  # pragma: no cover - astronomically wide keys
+            return None
+        if not separator:
+            p_keys = np.zeros(parent.n_rows, dtype=np.int64)
+            c_keys = np.zeros(table.n_rows, dtype=np.int64)
+        else:
+            aligned = align_composite_keys(
+                [table.codes[t_pos[v]] for v in separator],
+                [table.dicts[t_pos[v]] for v in separator],
+                [parent.dicts[p_pos[v]] for v in separator],
+                cards,
+            )
+            if aligned is None:  # pragma: no cover - wide keys
+                return None
+            c_keys, kept = aligned
+            if kept is not None:
+                w = w[kept]
+
+        # fold: agg[key] = Σ child weights, then parent *= agg[parent key]
+        agg_bound = weight_bound[atom_idx] * max(1, len(c_keys))
+        product_bound = weight_bound[parent_idx] * agg_bound
+        if product_bound >= _SAFE_INT64 and w.dtype != object:
+            w = w.astype(object)
+        if len(c_keys) == 0:
+            weights[parent_idx] = np.zeros(parent.n_rows, dtype=np.int64)
+            weight_bound[parent_idx] = 1
+            continue
+        order = np.argsort(c_keys, kind="stable")
+        sorted_keys = c_keys[order]
+        run_start = np.empty(len(sorted_keys), dtype=bool)
+        run_start[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=run_start[1:])
+        starts = np.nonzero(run_start)[0]
+        unique_keys = sorted_keys[starts]
+        sums = np.add.reduceat(w[order], starts)
+        positions = np.minimum(
+            np.searchsorted(unique_keys, p_keys), len(unique_keys) - 1
+        )
+        found = unique_keys[positions] == p_keys
+        gathered = np.where(found, sums[positions], 0)
+        parent_w = weights[parent_idx]
+        if gathered.dtype == object and parent_w.dtype != object:
+            parent_w = parent_w.astype(object)
+        elif parent_w.dtype == object and gathered.dtype != object:
+            gathered = gathered.astype(object)
+        weights[parent_idx] = parent_w * gathered
+        weight_bound[parent_idx] = product_bound
+    raise AssertionError("unreachable: the join tree always has a root")
+
+
+def _acyclic_count_tuples(
+    query: ConjunctiveQuery, db: Database, tree: list[tuple[int, int | None]]
+) -> int:
     atoms = list(query.atoms)
     rows_of = {i: _atom_rows(atoms[i], db) for i in range(len(atoms))}
     weights: dict[int, list[int]] = {

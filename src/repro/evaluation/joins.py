@@ -166,9 +166,18 @@ def _encode_table(
     return None if columnar is None else _table_of(columnar)
 
 
-def _atom_table(atom: Atom, db: Database) -> _ColTable | None:
-    """The atom's rows over its distinct variables, straight from the
-    relation's cached columnar twin (no tuple round-trip)."""
+def _atom_table_indexed(
+    atom: Atom, db: Database
+) -> tuple[_ColTable, np.ndarray | None] | None:
+    """The atom's rows over its distinct variables, plus the index of each
+    surviving table row in the underlying relation's row order (``None``
+    meaning the identity — no row was filtered).
+
+    Straight from the relation's cached columnar twin (no tuple
+    round-trip); repeated variables become diagonal selections, which is
+    why the row-index array matters — it lets callers (the Yannakakis
+    sweeps) map survivors back to full relation rows.
+    """
     relation = db[atom.relation]
     col = relation.columnar()
     if col is None:
@@ -195,10 +204,17 @@ def _atom_table(atom: Atom, db: Database) -> _ColTable | None:
         codes_list = [col.codes(attrs[first_pos[v]])[keep] for v in distinct_vars]
         n = len(keep)
     else:
+        keep = None
         codes_list = [col.codes(attrs[first_pos[v]]) for v in distinct_vars]
         n = col.n_rows
     dicts_list = [col.dictionary(attrs[first_pos[v]]) for v in distinct_vars]
-    return _ColTable(distinct_vars, codes_list, dicts_list, n)
+    return _ColTable(distinct_vars, codes_list, dicts_list, n), keep
+
+
+def _atom_table(atom: Atom, db: Database) -> _ColTable | None:
+    """The atom's rows over its distinct variables (see above)."""
+    indexed = _atom_table_indexed(atom, db)
+    return None if indexed is None else indexed[0]
 
 
 def _join_tables(left: _ColTable, right: _ColTable) -> _ColTable | None:

@@ -22,6 +22,8 @@ import itertools
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.conditionals import ConcreteStatistic
 from ..core.lp_bound import BoundResult
 from ..query.query import Atom, ConjunctiveQuery
@@ -52,6 +54,32 @@ class PartitionedRun:
         return math.log2(self.nodes_visited) <= self.log2_budget + math.log2(
             polylog_slack
         )
+
+
+def _union_outputs(
+    query: ConjunctiveQuery, outputs: list[Relation]
+) -> Relation:
+    """Deduplicated union of the per-combination outputs.
+
+    When every non-empty part output carries a columnar twin the union is
+    column-wise: decode each twin to value arrays, concatenate, and let
+    :meth:`Relation.from_columns` deduplicate through composite keys —
+    no per-row Python loop.  Falls back to a tuple-set union otherwise.
+    """
+    non_empty = [o for o in outputs if len(o)]
+    twins = [o.columnar() for o in non_empty]
+    if non_empty and all(t is not None for t in twins):
+        columns = [
+            np.concatenate([t.dictionary(v)[t.codes(v)] for t in twins])
+            for v in query.variables
+        ]
+        return Relation.from_columns(
+            query.variables, columns, name=query.name
+        )
+    rows: set[tuple] = set()
+    for output in non_empty:
+        rows.update(output)
+    return Relation(query.variables, rows, name=query.name)
 
 
 def _attrs_for(stat: ConcreteStatistic, relation: Relation) -> tuple[list, list]:
@@ -123,7 +151,7 @@ def evaluate_with_partitioning(
             f"{combo_count} part combinations exceed max_parts={max_parts}"
         )
 
-    rows: set[tuple] = set()
+    outputs: list[Relation] = []
     nodes_total = 0
     parts_evaluated = 0
     for combo in itertools.product(*part_lists):
@@ -133,8 +161,8 @@ def evaluate_with_partitioning(
         run = evaluate_part(rewritten, Database(relations))
         parts_evaluated += 1
         nodes_total += run.nodes_visited
-        rows.update(run.output)
-    output = Relation(query.variables, rows, name=query.name)
+        outputs.append(run.output)
+    output = _union_outputs(query, outputs)
     return PartitionedRun(
         output=output,
         parts_evaluated=parts_evaluated,

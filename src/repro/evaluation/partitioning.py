@@ -9,6 +9,13 @@ evaluation algorithm to PANDA.
 Lemma 2.5: any R satisfying an ℓp statistic splits into
 O(2^p · log N) parts that each strongly satisfy it — bucket the U-values
 by ⌊log2 degree⌋, then chop each bucket into ⌈2^p⌉ slices.
+
+On dictionary-encoded relations both steps run in code space: per-row
+degrees come from one grouped distinct count, ⌊log2 d⌋ via ``frexp``
+(exact for any int64 degree), and each part is a positional row-gather —
+the tuple path below remains the oracle and non-integer fallback.  Both
+paths produce the *same parts in the same order* (composite group keys
+sort exactly like the decoded U-tuples).
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from ..core.conditionals import ConcreteStatistic
+import numpy as np
+
 from ..core.degree import degree_sequence
 from ..relational import Relation
 
@@ -50,6 +58,26 @@ def strongly_satisfies(
     return log2_u + p * log2_d <= p * log2_bound + tolerance_log2
 
 
+def _degree_profile(
+    relation: Relation, v_attrs: Sequence[str], u_attrs: Sequence[str]
+):
+    """Per-row U-keys, distinct keys, per-group degrees, per-row buckets.
+
+    ``None`` when the relation has no columnar twin (tuple fallback).
+    The bucket of a degree d is ⌊log2 d⌋, computed exactly via ``frexp``
+    (d = m·2^e with ½ ≤ m < 1, so e − 1 is the floor log).
+    """
+    col = relation.columnar()
+    if col is None:
+        return None
+    group_keys, _ = col.key_codes(tuple(u_attrs))
+    counts = col.group_size_counts(tuple(u_attrs), tuple(v_attrs))
+    unique_keys, inverse = np.unique(group_keys, return_inverse=True)
+    group_buckets = np.frexp(counts.astype(np.float64))[1] - 1
+    row_buckets = group_buckets[inverse]
+    return group_keys, unique_keys, counts, group_buckets, row_buckets
+
+
 def partition_by_degree(
     relation: Relation,
     v_attrs: Sequence[str],
@@ -63,6 +91,13 @@ def partition_by_degree(
     """
     if len(relation) == 0:
         return []
+    profile = _degree_profile(relation, v_attrs, u_attrs)
+    if profile is not None:
+        _, _, _, _, row_buckets = profile
+        return [
+            relation._take_rows(np.nonzero(row_buckets == b)[0])
+            for b in np.unique(row_buckets)
+        ]
     sizes = relation.group_sizes(tuple(u_attrs), tuple(v_attrs))
     bucket_of = {u: int(math.floor(math.log2(d))) for u, d in sizes.items()}
     u_positions = relation.positions(tuple(u_attrs))
@@ -74,6 +109,25 @@ def partition_by_degree(
         relation.restrict_rows(rows)
         for _, rows in sorted(buckets.items())
     ]
+
+
+def _bucket_capacity(
+    d_max: int, n_groups: int, p: float, log2_bound: float
+) -> int:
+    """Slice width ⌊B^p / d_max^p⌋ for one degree bucket (Lemma 2.5).
+
+    Raises ``ValueError`` when even a single U-value's degree exceeds the
+    bound — then the relation does not satisfy the statistic at all.
+    """
+    log2_capacity = p * (log2_bound - math.log2(d_max))
+    if log2_capacity < -1e-9:
+        raise ValueError(
+            f"relation violates the ℓ{p:g} statistic: a degree of "
+            f"{d_max} alone exceeds the bound 2^{log2_bound:.4g}"
+        )
+    if log2_capacity > 60:
+        return n_groups
+    return max(1, int(2.0 ** log2_capacity + 1e-9))
 
 
 def partition_for_statistic(
@@ -100,30 +154,41 @@ def partition_for_statistic(
     """
     if p == math.inf:
         return [relation] if len(relation) else []
-    parts: list[Relation] = []
-    u_positions = relation.positions(tuple(u_attrs))
-    for bucket in partition_by_degree(relation, v_attrs, u_attrs):
-        sizes = bucket.group_sizes(tuple(u_attrs), tuple(v_attrs))
-        d_max = max(sizes.values())
-        log2_capacity = p * (log2_bound - math.log2(d_max))
-        if log2_capacity < -1e-9:
-            raise ValueError(
-                f"relation violates the ℓ{p:g} statistic: a degree of "
-                f"{d_max} alone exceeds the bound 2^{log2_bound:.4g}"
-            )
-        if log2_capacity > 60:
-            capacity = len(sizes)
-        else:
-            capacity = max(1, int(2.0 ** log2_capacity + 1e-9))
-        u_values = sorted(sizes)
-        for start in range(0, len(u_values), capacity):
-            chosen = set(u_values[start : start + capacity])
-            rows = [
-                row
-                for row in bucket
-                if tuple(row[i] for i in u_positions) in chosen
-            ]
-            parts.append(relation.restrict_rows(rows))
+    if len(relation) == 0:
+        return []
+    profile = _degree_profile(relation, v_attrs, u_attrs)
+    if profile is not None:
+        group_keys, unique_keys, counts, group_buckets, row_buckets = profile
+        parts: list[Relation] = []
+        for b in np.unique(group_buckets):
+            group_mask = group_buckets == b
+            d_max = int(counts[group_mask].max())
+            bucket_groups = unique_keys[group_mask]
+            capacity = _bucket_capacity(d_max, len(bucket_groups), p, log2_bound)
+            row_sel = np.nonzero(row_buckets == b)[0]
+            # rank of each row's U-value inside the bucket, ascending key
+            # order — identical to the tuple path's sorted(u_values) slices
+            ranks = np.searchsorted(bucket_groups, group_keys[row_sel])
+            slices = ranks // capacity
+            n_slices = (len(bucket_groups) + capacity - 1) // capacity
+            for s in range(n_slices):
+                parts.append(relation._take_rows(row_sel[slices == s]))
+    else:
+        parts = []
+        u_positions = relation.positions(tuple(u_attrs))
+        for bucket in partition_by_degree(relation, v_attrs, u_attrs):
+            sizes = bucket.group_sizes(tuple(u_attrs), tuple(v_attrs))
+            d_max = max(sizes.values())
+            capacity = _bucket_capacity(d_max, len(sizes), p, log2_bound)
+            u_values = sorted(sizes)
+            for start in range(0, len(u_values), capacity):
+                chosen = set(u_values[start : start + capacity])
+                rows = [
+                    row
+                    for row in bucket
+                    if tuple(row[i] for i in u_positions) in chosen
+                ]
+                parts.append(relation.restrict_rows(rows))
     for part in parts:
         assert strongly_satisfies(part, v_attrs, u_attrs, p, log2_bound), (
             f"part of {relation.name or 'relation'} fails strong "

@@ -7,7 +7,24 @@ is bounded by the AGM bound of the query, and on the degree-uniform parts
 produced by :mod:`repro.evaluation.partitioning` it meets the per-part
 {1,∞} product bounds required by Lemma 2.4.
 
-The evaluator meters its work (number of variable bindings tried), which
+Two implementations share the same search tree:
+
+* :func:`generic_join_tuples` — the original recursive descent over
+  nested-dict tries, one binding at a time.  Works for arbitrary hashable
+  values and is the correctness oracle of the equivalence test-suite.
+* a vectorized engine over :class:`~repro.relational.columnar.CodeTrie`
+  sorted-codes tries: every atom's rows are re-encoded into one global
+  dictionary per variable, sorted lexicographically in the global
+  variable order, and the search proceeds level-by-level on a whole
+  *frontier* of partial bindings at once — children of the seed atom are
+  expanded in one gather and intersected against the other participating
+  atoms with batched ``searchsorted`` membership tests.
+
+:func:`generic_join` dispatches to the vectorized engine whenever every
+atom's relation dictionary-encodes, falling back otherwise.  Both engines
+enumerate exactly the set of bindings that pass every participating
+atom's trie, so the *metered* search-tree size (number of variable
+bindings tried) is identical — which is what
 :mod:`repro.experiments.evaluation_runtime` compares against the ℓp bound
 per Theorem 2.6.
 """
@@ -17,10 +34,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..query.query import Atom, ConjunctiveQuery
 from ..relational import Database, Relation
+from ..relational.columnar import CodeTrie, ColumnarRelation, remap_codes
+from .joins import _atom_table
 
-__all__ = ["generic_join", "count_query", "JoinRun"]
+__all__ = ["generic_join", "generic_join_tuples", "count_query", "JoinRun"]
 
 
 @dataclass
@@ -86,6 +107,17 @@ def _default_order(query: ConjunctiveQuery) -> tuple[str, ...]:
     )
 
 
+def _resolve_order(
+    query: ConjunctiveQuery, order: Sequence[str] | None
+) -> tuple[str, ...]:
+    order = tuple(order) if order is not None else _default_order(query)
+    if set(order) != set(query.variables):
+        raise ValueError(
+            f"order {order} must be a permutation of {query.variables}"
+        )
+    return order
+
+
 def generic_join(
     query: ConjunctiveQuery,
     db: Database,
@@ -101,13 +133,29 @@ def generic_join(
     Returns
     -------
     A :class:`JoinRun` with the output relation (attributes in the query's
-    variable order) and the metered search-tree size.
+    variable order) and the metered search-tree size.  Integer-valued
+    databases run through the vectorized sorted-codes engine; anything
+    else falls back to :func:`generic_join_tuples`.  Output rows (as a
+    set) and the meter are identical either way.
     """
-    order = tuple(order) if order is not None else _default_order(query)
-    if set(order) != set(query.variables):
-        raise ValueError(
-            f"order {order} must be a permutation of {query.variables}"
-        )
+    order = _resolve_order(query, order)
+    run = _generic_join_columnar(query, db, order)
+    if run is not None:
+        return run
+    return generic_join_tuples(query, db, order)
+
+
+def generic_join_tuples(
+    query: ConjunctiveQuery,
+    db: Database,
+    order: Sequence[str] | None = None,
+) -> JoinRun:
+    """The tuple-at-a-time Generic Join over nested-dict tries.
+
+    The original evaluator, kept as the correctness (and meter) oracle
+    and as the fallback for relations holding non-integer values.
+    """
+    order = _resolve_order(query, order)
     order_index = {v: i for i, v in enumerate(order)}
     tries = [_build_trie(atom, db, order_index) for atom in query.atoms]
     atoms_at: list[list[int]] = [[] for _ in order]
@@ -156,6 +204,173 @@ def generic_join(
         (tuple(row[i] for i in out_positions) for row in results),
         name=query.name,
     )
+    return JoinRun(output=output, nodes_visited=visited)
+
+
+def _generic_join_columnar(
+    query: ConjunctiveQuery, db: Database, order: tuple[str, ...]
+) -> JoinRun | None:
+    """The batched sorted-codes engine; ``None`` means fall back.
+
+    The frontier is a batch of partial bindings, one int64 code column
+    per bound variable.  At each level the participating atom with the
+    fewest trie children *seeds* candidate values (expanded in one
+    gather), the other participants filter them with batched membership
+    tests, and the surviving (binding, value) pairs become the next
+    frontier — whole-batch expansion instead of per-binding recursion,
+    with the visited count unchanged because both engines enumerate
+    exactly the intersection at every node.
+
+    Each atom's trie lives in its own relation's code space (so tries are
+    cacheable per relation and column order); candidate codes cross atom
+    boundaries through :func:`remap_codes` over the small per-column
+    dictionaries, with values absent from the target dictionary mapping
+    to −1 and failing membership.
+    """
+    order_index = {v: i for i, v in enumerate(order)}
+    tables = [_atom_table(atom, db) for atom in query.atoms]
+    if any(t is None for t in tables):
+        return None
+
+    tries: list[CodeTrie] = []
+    dict_of: list[list[np.ndarray]] = []  # per atom, per depth: column dict
+    ordered_vars_of: list[tuple[str, ...]] = []
+    for atom, table in zip(query.atoms, tables):
+        position = {v: i for i, v in enumerate(table.vars)}
+        ordered = tuple(sorted(table.vars, key=lambda v: order_index[v]))
+        try:
+            if len(set(atom.variables)) == len(atom.variables):
+                # table columns alias the relation twin: use its trie cache
+                relation = db[atom.relation]
+                attr_of = dict(zip(atom.variables, relation.attributes))
+                trie = relation.columnar().trie(
+                    tuple(attr_of[v] for v in ordered)
+                )
+            else:
+                trie = CodeTrie(
+                    [table.codes[position[v]] for v in ordered],
+                    [len(table.dicts[position[v]]) for v in ordered],
+                )
+        except OverflowError:  # pragma: no cover - astronomically wide
+            return None
+        tries.append(trie)
+        dict_of.append([table.dicts[position[v]] for v in ordered])
+        ordered_vars_of.append(ordered)
+
+    # participants per level, each with its local trie depth
+    atoms_at: list[list[tuple[int, int]]] = [[] for _ in order]
+    last_level = [0] * len(tables)
+    for atom_idx, ordered in enumerate(ordered_vars_of):
+        for depth, var in enumerate(ordered):
+            atoms_at[order_index[var]].append((atom_idx, depth))
+            last_level[atom_idx] = order_index[var]
+
+    n = len(order)
+    n_front = 1
+    atom_node = [np.zeros(1, dtype=np.int64) for _ in tables]
+    binding_cols: list[np.ndarray] = []
+    level_dicts: list[np.ndarray] = []  # decode dictionary per level
+    visited = 0
+
+    for level in range(n):
+        participants = atoms_at[level]
+        if not participants:
+            raise RuntimeError(
+                f"variable {order[level]!r} is not covered by any atom"
+            )
+        # per-binding seed choice: the participant with the fewest trie
+        # children at this node — the vectorized analogue of the tuple
+        # engine's min(views, key=len), which keeps the expanded batch at
+        # Σ_b min_i deg_i(b) instead of min_i Σ_b deg_i(b).
+        ranges = [
+            tries[i].children_ranges(d, atom_node[i]) for i, d in participants
+        ]
+        canon_idx, canon_depth = participants[0]
+        canon_dict = dict_of[canon_idx][canon_depth]
+        if len(participants) == 1:
+            groups = [np.arange(n_front)]
+        else:
+            counts_matrix = np.stack([counts for _, counts in ranges])
+            seed_choice = np.argmin(counts_matrix, axis=0)
+            groups = [
+                np.nonzero(seed_choice == s)[0]
+                for s in range(len(participants))
+            ]
+        parent_segments: list[np.ndarray] = []
+        code_segments: list[np.ndarray] = []
+        node_segments: dict[int, list[np.ndarray]] = {
+            i: [] for i, _ in participants
+        }
+        for s, (seed_idx, seed_depth) in enumerate(participants):
+            selected = groups[s]
+            if len(selected) == 0:
+                continue
+            seed_dict = dict_of[seed_idx][seed_depth]
+            first, counts = ranges[s]
+            if len(selected) == n_front:
+                sub_nodes, sub_ranges = atom_node[seed_idx], (first, counts)
+            else:
+                sub_nodes = atom_node[seed_idx][selected]
+                sub_ranges = (first[selected], counts[selected])
+            local_parent, seed_children, candidates = tries[
+                seed_idx
+            ].expand_children(seed_depth, sub_nodes, ranges=sub_ranges)
+            parent = selected[local_parent]
+            new_nodes = {seed_idx: seed_children}
+            keep = None
+            for atom_idx, depth in participants:
+                if atom_idx == seed_idx:
+                    continue
+                own_dict = dict_of[atom_idx][depth]
+                if own_dict is seed_dict:
+                    aligned = candidates
+                else:
+                    aligned = remap_codes(candidates, seed_dict, own_dict)
+                found, children = tries[atom_idx].find_children(
+                    depth, atom_node[atom_idx][parent], aligned
+                )
+                if aligned is not candidates:
+                    found &= aligned >= 0
+                new_nodes[atom_idx] = children
+                keep = found if keep is None else keep & found
+            if keep is not None and not keep.all():
+                chosen = np.nonzero(keep)[0]
+                parent = parent[chosen]
+                candidates = candidates[chosen]
+                new_nodes = {i: ids[chosen] for i, ids in new_nodes.items()}
+            if len(candidates) == 0:
+                continue
+            if seed_dict is not canon_dict:
+                # survivors exist in every participant, so the canonical
+                # participant's dictionary contains them: remap is lossless
+                candidates = remap_codes(candidates, seed_dict, canon_dict)
+            parent_segments.append(parent)
+            code_segments.append(candidates)
+            for atom_idx, ids in new_nodes.items():
+                node_segments[atom_idx].append(ids)
+        if not parent_segments:
+            output = Relation(query.variables, [], name=query.name)
+            return JoinRun(output=output, nodes_visited=visited)
+        parent = np.concatenate(parent_segments)
+        candidates = np.concatenate(code_segments)
+        visited += len(candidates)
+        binding_cols = [c[parent] for c in binding_cols]
+        binding_cols.append(candidates)
+        level_dicts.append(canon_dict)
+        for atom_idx in range(len(tables)):
+            if atom_idx in node_segments:
+                atom_node[atom_idx] = np.concatenate(node_segments[atom_idx])
+            elif last_level[atom_idx] > level:
+                atom_node[atom_idx] = atom_node[atom_idx][parent]
+        n_front = len(candidates)
+
+    columnar = ColumnarRelation(
+        query.variables,
+        {v: binding_cols[order_index[v]] for v in query.variables},
+        {v: level_dicts[order_index[v]] for v in query.variables},
+        n_front,
+    )
+    output = Relation._from_columnar(columnar, name=query.name)
     return JoinRun(output=output, nodes_visited=visited)
 
 

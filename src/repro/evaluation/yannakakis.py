@@ -7,19 +7,36 @@ output onto its atom, which makes the reduced database the natural input
 for any evaluator and gives a cheap lower-bound witness for cardinality
 estimates (every surviving tuple extends to at least one output row).
 
-Used by tests as an independent oracle (reduction must not change the
-output) and available to users as the standard acyclic-query optimisation
-the paper's pipeline would sit inside.
+Two implementations coexist:
+
+* :func:`semijoin_reduce_tuples` — the original sweeps over Python row
+  sets, the correctness oracle and the fallback for non-integer values.
+* a columnar engine that keeps one boolean liveness mask per atom and
+  runs every semijoin as a composite-key membership test: the shared
+  variables' code columns are aligned across atoms with
+  :func:`~repro.relational.columnar.remap_codes`, flattened to one
+  ``int64`` key per row, and matched with a single ``searchsorted`` —
+  no tuple is ever materialized until the reduced relations are built
+  (as columnar row-gathers).
+
+:func:`semijoin_reduce` dispatches to the columnar engine whenever every
+atom's relation dictionary-encodes.  A semijoin against a source with no
+shared variables keeps the target exactly when the source still has rows
+(no cross product is formed) — both engines implement this case
+identically.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..query.query import ConjunctiveQuery
 from ..relational import Database, Relation
+from ..relational.columnar import align_composite_keys, mixed_radix_keys
 from .acyclic_count import join_tree
-from .joins import _atom_rows
+from .joins import _atom_rows, _atom_table_indexed
 
-__all__ = ["semijoin_reduce"]
+__all__ = ["semijoin_reduce", "semijoin_reduce_tuples"]
 
 
 def _semijoin(
@@ -52,16 +69,128 @@ def semijoin_reduce(query: ConjunctiveQuery, db: Database) -> Database:
     through at least one of its atoms.
     """
     tree = join_tree(query)  # raises for cyclic queries
-    atoms = list(query.atoms)
-    rows_of = {i: list(_atom_rows(atoms[i], db)[1]) for i in range(len(atoms))}
-    vars_of = {i: _atom_rows(atoms[i], db)[0] for i in range(len(atoms))}
-    children: dict[int, list[int]] = {i: [] for i in range(len(atoms))}
+    reduced = _semijoin_reduce_columnar(query, db, tree)
+    if reduced is not None:
+        return reduced
+    return _semijoin_reduce_tuples(query, db, tree)
+
+
+def semijoin_reduce_tuples(query: ConjunctiveQuery, db: Database) -> Database:
+    """The tuple-at-a-time reduction (correctness oracle / fallback)."""
+    return _semijoin_reduce_tuples(query, db, join_tree(query))
+
+
+def _tree_children(
+    tree: list[tuple[int, int | None]],
+) -> tuple[dict[int, list[int]], int]:
+    children: dict[int, list[int]] = {i: [] for i, _ in tree}
     root = None
     for atom_idx, parent_idx in tree:
         if parent_idx is None:
             root = atom_idx
         else:
             children[parent_idx].append(atom_idx)
+    assert root is not None
+    return children, root
+
+
+def _semijoin_reduce_columnar(
+    query: ConjunctiveQuery, db: Database, tree: list[tuple[int, int | None]]
+) -> Database | None:
+    """Both sweeps over liveness masks in code space; ``None`` = fall back."""
+    atoms = list(query.atoms)
+    indexed = [_atom_table_indexed(atom, db) for atom in atoms]
+    if any(entry is None for entry in indexed):
+        return None
+    tables = [table for table, _ in indexed]
+    row_idx = [idx for _, idx in indexed]
+    alive = [np.ones(table.n_rows, dtype=bool) for table in tables]
+
+    def semijoin(target_i: int, source_i: int) -> bool:
+        """alive[target] &= has-partner-in-source; False on key overflow."""
+        target, source = tables[target_i], tables[source_i]
+        t_pos = {v: i for i, v in enumerate(target.vars)}
+        source_set = set(source.vars)
+        shared = [v for v in target.vars if v in source_set]
+        if not shared:
+            if not alive[source_i].any():
+                alive[target_i][:] = False
+            return True
+        live = np.nonzero(alive[source_i])[0]
+        if len(live) == 0:
+            alive[target_i][:] = False
+            return True
+        s_pos = {v: i for i, v in enumerate(source.vars)}
+        cards = [len(target.dicts[t_pos[v]]) for v in shared]
+        t_keys = mixed_radix_keys(
+            [target.codes[t_pos[v]] for v in shared], cards
+        )
+        if t_keys is None:  # pragma: no cover - astronomically wide keys
+            return False
+        aligned = align_composite_keys(
+            [source.codes[s_pos[v]][live] for v in shared],
+            [source.dicts[s_pos[v]] for v in shared],
+            [target.dicts[t_pos[v]] for v in shared],
+            cards,
+        )
+        if aligned is None:  # pragma: no cover - astronomically wide keys
+            return False
+        s_keys, _ = aligned
+        if len(s_keys) == 0:
+            alive[target_i][:] = False
+            return True
+        s_keys = np.unique(s_keys)
+        positions = np.minimum(
+            np.searchsorted(s_keys, t_keys), len(s_keys) - 1
+        )
+        alive[target_i] &= s_keys[positions] == t_keys
+        return True
+
+    children, root = _tree_children(tree)
+    # upward sweep: parents lose rows with no partner in each child
+    for atom_idx, parent_idx in tree:
+        if parent_idx is None:
+            continue
+        if not semijoin(parent_idx, atom_idx):  # pragma: no cover - overflow
+            return None
+    # downward sweep: children lose rows with no partner in their parent
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in children[node]:
+            if not semijoin(child, node):  # pragma: no cover - overflow
+                return None
+            stack.append(child)
+
+    # map survivors back to relation rows, unioned across atoms per relation
+    surviving: dict[str, list[np.ndarray]] = {
+        atom.relation: [] for atom in atoms
+    }
+    for i, atom in enumerate(atoms):
+        if row_idx[i] is None:  # identity: the atom filtered no rows
+            surviving[atom.relation].append(np.nonzero(alive[i])[0])
+        else:
+            surviving[atom.relation].append(row_idx[i][alive[i]])
+    relations: dict[str, Relation] = {}
+    for name, index_lists in surviving.items():
+        if len(index_lists) == 1:
+            merged = index_lists[0]
+        else:
+            merged = np.unique(np.concatenate(index_lists))
+        relations[name] = db[name]._take_rows(merged)
+    for name in db:
+        if name not in relations:
+            relations[name] = db[name]
+    return Database(relations)
+
+
+def _semijoin_reduce_tuples(
+    query: ConjunctiveQuery, db: Database, tree: list[tuple[int, int | None]]
+) -> Database:
+    atoms = list(query.atoms)
+    rows_of = {i: list(_atom_rows(atoms[i], db)[1]) for i in range(len(atoms))}
+    vars_of = {i: _atom_rows(atoms[i], db)[0] for i in range(len(atoms))}
+    children, root = _tree_children(tree)
 
     # upward sweep: parents lose rows with no partner in each child
     for atom_idx, parent_idx in tree:
@@ -84,7 +213,6 @@ def semijoin_reduce(query: ConjunctiveQuery, db: Database) -> Database:
             )
             push_down(child)
 
-    assert root is not None
     push_down(root)
 
     # map surviving variable-rows back to relation rows (per atom), then

@@ -14,10 +14,8 @@ Two parts:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
-from ..core import collect_statistics, lp_bound
 from ..datasets.generators import alpha_beta_relation, matching_relation
 from ..estimators.jayaraman import jayaraman_bound
 from ..evaluation import count_query

@@ -15,7 +15,6 @@ structural notions:
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Sequence
 

@@ -12,7 +12,7 @@ repeating the same relation name with different variable tuples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 __all__ = ["Atom", "ConjunctiveQuery"]

@@ -37,10 +37,13 @@ import numpy as np
 
 __all__ = [
     "ColumnarRelation",
+    "CodeTrie",
+    "align_composite_keys",
     "encode_column",
     "encode_rows",
     "remap_codes",
     "composite_codes",
+    "mixed_radix_keys",
 ]
 
 #: Radix products stay below this to keep composite keys overflow-free.
@@ -145,6 +148,194 @@ def composite_codes(
     return keys, radix
 
 
+def mixed_radix_keys(
+    code_arrays: Sequence[np.ndarray], cardinalities: Sequence[int]
+) -> np.ndarray | None:
+    """Composite ``int64`` key per row, *without* re-factorization.
+
+    Unlike :func:`composite_codes`, the key space is a pure mixed-radix
+    number over ``cardinalities``, so two arrays built with the same
+    cardinalities are directly comparable — the property the semijoin and
+    counting kernels need to match keys *across* relations.  Returns
+    ``None`` when the radix product would overflow ``int64`` (callers fall
+    back to the tuple path).
+    """
+    radix = 1
+    for card in cardinalities:
+        radix *= max(1, int(card))
+        if radix >= _MAX_RADIX:  # pragma: no cover - astronomically wide
+            return None
+    if not code_arrays:
+        return _EMPTY_CODES
+    keys = code_arrays[0]
+    for codes, card in zip(code_arrays[1:], cardinalities[1:]):
+        keys = keys * max(1, int(card)) + codes
+    return keys
+
+
+def align_composite_keys(
+    code_arrays: Sequence[np.ndarray],
+    source_dicts: Sequence[np.ndarray],
+    target_dicts: Sequence[np.ndarray],
+    cards: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray | None] | None:
+    """Remap per-column codes into a target code space and flatten to keys.
+
+    The shared kernel behind cross-relation key matching (semijoins, the
+    counting fold): each column's codes are re-expressed in the matching
+    ``target_dicts`` entry via :func:`remap_codes`, rows holding a value
+    absent from a target dictionary are dropped (they cannot match any
+    target row), and the survivors flatten to :func:`mixed_radix_keys`
+    over ``cards``.
+
+    Returns ``(keys, kept_row_indices)`` — ``kept_row_indices`` is
+    ``None`` when no row was dropped — or ``None`` when the radix product
+    would overflow ``int64`` (callers fall back to the tuple path).
+    """
+    arrays = []
+    valid = None
+    for codes, s_dict, t_dict in zip(code_arrays, source_dicts, target_dicts):
+        if s_dict is not t_dict:
+            codes = remap_codes(codes, s_dict, t_dict)
+            mask = codes >= 0
+            valid = mask if valid is None else valid & mask
+        arrays.append(codes)
+    kept = None
+    if valid is not None and not valid.all():
+        kept = np.nonzero(valid)[0]
+        arrays = [a[kept] for a in arrays]
+    keys = mixed_radix_keys(arrays, cards)
+    if keys is None:  # pragma: no cover - astronomically wide keys
+        return None
+    return keys, kept
+
+
+class CodeTrie:
+    """A sorted-codes trie over per-variable code columns.
+
+    The columnar replacement for the nested-dict tries of Generic Join:
+    rows are sorted lexicographically in the given column order, and trie
+    level ``d`` is the *sorted* array of composite node keys
+
+        ``parent_node_id * card_d + code_d``
+
+    with one entry per distinct length-(d+1) prefix.  A node's children
+    occupy the contiguous ``searchsorted``-delimited range
+    ``[searchsorted(keys, node·card), searchsorted(keys, (node+1)·card))``
+    and a child's *position in the level array* is its node id at the next
+    level — so descending, enumerating children, and membership tests are
+    all ``O(log n)`` gathers, vectorized over whole batches of bindings.
+
+    ``columns`` must already live in a code space shared by every trie
+    that will be intersected against this one (one global dictionary per
+    variable); ``cards`` are those dictionaries' sizes.  Raises
+    ``OverflowError`` if a level's key space would exceed ``int64``.
+    """
+
+    __slots__ = ("n_rows", "n_levels", "cards", "level_keys", "_starts")
+
+    def __init__(
+        self, columns: Sequence[np.ndarray], cards: Sequence[int]
+    ) -> None:
+        self.n_levels = len(columns)
+        self.n_rows = len(columns[0]) if self.n_levels else 0
+        self.cards = [max(1, int(c)) for c in cards]
+        self._starts: list[np.ndarray | None] = [None] * self.n_levels
+        if self.n_rows == 0:
+            self.level_keys = [_EMPTY_CODES] * self.n_levels
+            return
+        order = np.lexsort(tuple(reversed(list(columns))))
+        node = np.zeros(self.n_rows, dtype=np.int64)
+        n_nodes = 1
+        level_keys: list[np.ndarray] = []
+        new = np.empty(self.n_rows, dtype=bool)
+        new[0] = True
+        for column, card in zip(columns, self.cards):
+            if n_nodes * card >= _MAX_RADIX:  # pragma: no cover - huge
+                raise OverflowError("trie level key radix exceeds int64")
+            # rows are lexsorted, so `pair` is non-decreasing: run starts
+            # give the distinct prefixes *and* the next level's node ids.
+            pair = node * card + column[order]
+            np.not_equal(pair[1:], pair[:-1], out=new[1:])
+            level_keys.append(pair[new])
+            node = np.cumsum(new) - 1
+            n_nodes = len(level_keys[-1])
+        self.level_keys = level_keys
+
+    def _child_starts(self, depth: int) -> np.ndarray:
+        """``starts[n] .. starts[n+1]``: node n's child range at ``depth``.
+
+        Node ids at ``depth`` are ranks into the previous level's key
+        array, so the ranges are computable once per level (a bincount +
+        cumsum, cached) and :meth:`children_ranges` becomes pure gathers.
+        """
+        starts = self._starts[depth]
+        if starts is None:
+            n_nodes = 1 if depth == 0 else len(self.level_keys[depth - 1])
+            parents = self.level_keys[depth] // self.cards[depth]
+            starts = np.zeros(n_nodes + 1, dtype=np.int64)
+            np.cumsum(np.bincount(parents, minlength=n_nodes), out=starts[1:])
+            self._starts[depth] = starts
+        return starts
+
+    def children_ranges(
+        self, depth: int, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per node: (first child position, child count) at ``depth``."""
+        if len(self.level_keys[depth]) == 0:
+            zeros = np.zeros(len(nodes), dtype=np.int64)
+            return zeros, zeros
+        starts = self._child_starts(depth)
+        first = starts[nodes]
+        return first, starts[nodes + 1] - first
+
+    def expand_children(
+        self,
+        depth: int,
+        nodes: np.ndarray,
+        ranges: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Enumerate every child of every node in the batch.
+
+        Returns ``(parent_index, child_node_ids, child_codes)`` where
+        ``parent_index[i]`` points into ``nodes`` — the batch-expansion
+        primitive of the vectorized Generic Join.  ``ranges`` may pass a
+        precomputed :meth:`children_ranges` result.
+        """
+        first, counts = (
+            ranges if ranges is not None else self.children_ranges(depth, nodes)
+        )
+        total = int(counts.sum())
+        parent = np.repeat(np.arange(len(nodes)), counts)
+        offsets = np.cumsum(counts) - counts
+        positions = (
+            np.arange(total)
+            - np.repeat(offsets, counts)
+            + np.repeat(first, counts)
+        )
+        codes = (
+            self.level_keys[depth][positions]
+            - np.repeat(nodes, counts) * self.cards[depth]
+        )
+        return parent, positions, codes
+
+    def find_children(
+        self, depth: int, nodes: np.ndarray, codes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized membership: does node ``i`` have child ``codes[i]``?
+
+        Returns ``(found_mask, child_node_ids)`` (ids valid where found).
+        """
+        keys = self.level_keys[depth]
+        if len(keys) == 0:
+            zeros = np.zeros(len(nodes), dtype=np.int64)
+            return np.zeros(len(nodes), dtype=bool), zeros
+        target = nodes * self.cards[depth] + codes
+        positions = np.searchsorted(keys, target, side="left")
+        clipped = np.minimum(positions, len(keys) - 1)
+        return keys[clipped] == target, clipped
+
+
 class ColumnarRelation:
     """The encoded twin of a :class:`~repro.relational.relation.Relation`.
 
@@ -154,7 +345,7 @@ class ColumnarRelation:
     oracle's.
     """
 
-    __slots__ = ("attributes", "n_rows", "_codes", "_dicts")
+    __slots__ = ("attributes", "n_rows", "_codes", "_dicts", "_tries")
 
     def __init__(
         self,
@@ -172,9 +363,44 @@ class ColumnarRelation:
         """The int64 code array of one column."""
         return self._codes[attr]
 
+    def trie(self, attrs: Sequence[str]) -> "CodeTrie":
+        """The :class:`CodeTrie` over ``attrs`` in that column order.
+
+        Tries are cached per column order (relations are immutable), so
+        repeated evaluations — every part combination of the Theorem 2.6
+        algorithm re-joins the same parts — pay the lexsort once.
+        """
+        key = tuple(attrs)
+        try:
+            cache = self._tries
+        except AttributeError:
+            cache = self._tries = {}
+        trie = cache.get(key)
+        if trie is None:
+            trie = CodeTrie(
+                [self._codes[a] for a in key],
+                [len(self._dicts[a]) for a in key],
+            )
+            cache[key] = trie
+        return trie
+
     def dictionary(self, attr: str) -> np.ndarray:
         """The sorted distinct values (code -> value) of one column."""
         return self._dicts[attr]
+
+    def take(self, indices: np.ndarray) -> "ColumnarRelation":
+        """Row subset by positional indices (one gather per column).
+
+        Dictionaries are shared unchanged — they may become supersets of
+        the values actually present, which every kernel here tolerates
+        (only codes witness occurrence).
+        """
+        return ColumnarRelation(
+            self.attributes,
+            {a: c[indices] for a, c in self._codes.items()},
+            self._dicts,
+            len(indices),
+        )
 
     def renamed(self, mapping) -> "ColumnarRelation":
         """Share the arrays under renamed attributes (zero copy)."""

@@ -332,6 +332,22 @@ class Relation:
         """Build a relation over the same attributes from given rows."""
         return Relation(self._attributes, rows, name=self._name)
 
+    def _take_rows(self, indices) -> "Relation":
+        """Row subset by positional indices (rows stay distinct).
+
+        With a columnar twin this is one gather per column and the result
+        stays lazily encoded; otherwise the materialized tuples are
+        indexed directly.  Used by the partitioning and semijoin kernels,
+        which select rows by position rather than by value.
+        """
+        col = self.columnar()
+        if col is not None:
+            return Relation._from_columnar(col.take(indices), name=self._name)
+        rows = self._materialized_rows()
+        return Relation._from_distinct_rows(
+            self._attributes, [rows[i] for i in indices], self._name
+        )
+
     # ------------------------------------------------------------------
     # columnar backend
     # ------------------------------------------------------------------

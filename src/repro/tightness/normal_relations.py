@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..entropy.vectors import EntropyVector
 from ..relational import Relation
 
 __all__ = ["basic_normal_relation", "domain_product", "normal_relation"]

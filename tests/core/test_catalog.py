@@ -41,7 +41,9 @@ class TestStatisticsFor:
         ps = [1.0, 2.0, 3.0, math.inf]
         from_catalog = catalog.statistics_for(triangle_query, ps=ps)
         direct = collect_statistics(triangle_query, graph_db, ps=ps)
-        key = lambda s: (str(s.conditional), s.p, s.guard.relation)
+        def key(s):
+            return (str(s.conditional), s.p, s.guard.relation)
+
         a = sorted(((key(s), round(s.log2_bound, 9)) for s in from_catalog))
         b = sorted(((key(s), round(s.log2_bound, 9)) for s in direct))
         assert a == b

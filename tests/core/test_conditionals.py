@@ -11,7 +11,6 @@ from repro.core.conditionals import (
     StatisticsSet,
     collect_statistics,
 )
-from repro.query import parse_query
 from repro.query.query import Atom
 from repro.relational import Database, Relation
 

@@ -19,7 +19,6 @@ from repro.core.conditionals import (
 from repro.core.lp_bound import CONES
 from repro.query import parse_query
 from repro.query.query import Atom
-from repro.relational import Database, Relation
 
 
 def _triangle_stats(b_card, b_l2=None):

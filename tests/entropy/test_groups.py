@@ -1,6 +1,5 @@
 """Unit tests for group-realizable entropic vectors (Appendix D.2)."""
 
-import math
 
 import pytest
 

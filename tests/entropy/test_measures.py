@@ -1,6 +1,5 @@
 """Unit tests for derived measures and the modularization lemma."""
 
-import math
 
 import numpy as np
 import pytest

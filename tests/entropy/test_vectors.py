@@ -1,6 +1,5 @@
 """Unit tests for entropy vectors and their constructors."""
 
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.norms import log2_norm
 from repro.estimators.compression import (
     compress_sequence,
     compression_error_log2,

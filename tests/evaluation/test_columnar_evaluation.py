@@ -1,0 +1,210 @@
+"""Property-based equivalence: columnar evaluators vs the tuple oracles.
+
+The vectorized Generic Join, Yannakakis reduction, and counting sweep
+must match their tuple-at-a-time oracles bit for bit: same output row
+sets (of Python ints, not np.int64), same attribute order, and — for the
+WCOJ — the *same metered search-tree size*, because
+``experiments.evaluation_runtime`` compares that meter against the
+Theorem 2.6 budget.  Randomized databases cover empty relations,
+self-joins, repeated-variable (diagonal) atoms, disjoint atoms, and
+non-integer values that must take the fallback path.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import (
+    acyclic_count,
+    acyclic_count_tuples,
+    count_query,
+    generic_join,
+    generic_join_tuples,
+    semijoin_reduce,
+    semijoin_reduce_tuples,
+)
+from repro.query import parse_query
+from repro.relational import Database, Relation
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+values = st.integers(0, 5)
+pairs = st.lists(st.tuples(values, values), max_size=18)
+units = st.lists(st.tuples(values), max_size=6)
+
+CYCLIC_QUERIES = [
+    parse_query("triangle(x,y,z) :- R(x,y), R(y,z), R(z,x)"),
+    parse_query("lw(x,y,z) :- R(x,y), S(y,z), T(x,z)"),
+    parse_query("cycle4(a,b,c,d) :- R(a,b), S(b,c), R(c,d), S(d,a)"),
+]
+
+ACYCLIC_QUERIES = [
+    parse_query("onejoin(x,y,z) :- R(x,y), S(y,z)"),
+    parse_query("path3(a,b,c,d) :- R(a,b), R(b,c), S(c,d)"),
+    parse_query("star(m,a,b) :- U(m), R(m,a), R(m,b)"),
+    parse_query("diag(x,w) :- R(x,x), S(x,w)"),
+    parse_query("disjoint(x,y,u,v) :- R(x,y), S(u,v)"),
+    parse_query("filtered(x,y) :- R(x,y), U(x)"),
+]
+
+
+@st.composite
+def databases(draw):
+    return Database(
+        {
+            "R": Relation(("a", "b"), draw(pairs)),
+            "S": Relation(("a", "b"), draw(pairs)),
+            "T": Relation(("a", "b"), draw(pairs)),
+            "U": Relation(("u",), draw(units)),
+        }
+    )
+
+
+def assert_join_matches_oracle(query, db):
+    fast = generic_join(query, db)
+    slow = generic_join_tuples(query, db)
+    assert fast.output.attributes == slow.output.attributes
+    assert set(fast.output) == set(slow.output)
+    assert fast.nodes_visited == slow.nodes_visited
+    assert all(type(v) is int for row in fast.output for v in row)
+
+
+class TestGenericJoinEquivalence:
+    @SETTINGS
+    @given(databases())
+    def test_cyclic_queries(self, db):
+        for query in CYCLIC_QUERIES:
+            assert_join_matches_oracle(query, db)
+
+    @SETTINGS
+    @given(databases())
+    def test_acyclic_queries(self, db):
+        for query in ACYCLIC_QUERIES:
+            assert_join_matches_oracle(query, db)
+
+    @SETTINGS
+    @given(pairs)
+    def test_explicit_orders_agree(self, rows):
+        db = Database({"R": Relation(("a", "b"), rows)})
+        query = parse_query("t(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+        for order in [("x", "y", "z"), ("z", "x", "y"), ("y", "z", "x")]:
+            fast = generic_join(query, db, order=order)
+            slow = generic_join_tuples(query, db, order=order)
+            assert set(fast.output) == set(slow.output)
+            assert fast.nodes_visited == slow.nodes_visited
+
+
+class TestYannakakisEquivalence:
+    @SETTINGS
+    @given(databases())
+    def test_reduction_matches_oracle(self, db):
+        for query in ACYCLIC_QUERIES:
+            fast = semijoin_reduce(query, db)
+            slow = semijoin_reduce_tuples(query, db)
+            for name in db:
+                assert fast[name].attributes == slow[name].attributes
+                assert set(fast[name]) == set(slow[name]), (query.name, name)
+
+    @SETTINGS
+    @given(databases())
+    def test_count_matches_oracle_and_join(self, db):
+        for query in ACYCLIC_QUERIES:
+            fast = acyclic_count(query, db)
+            slow = acyclic_count_tuples(query, db)
+            assert fast == slow
+            assert type(fast) is int
+            assert fast == count_query(query, db)
+
+
+class TestFallbackPath:
+    """Non-integer values must silently route to the tuple engines."""
+
+    @SETTINGS
+    @given(pairs, pairs)
+    def test_string_values_fall_back(self, r_rows, s_rows):
+        db = Database(
+            {
+                "R": Relation(
+                    ("a", "b"), [(f"n{a}", f"n{b}") for a, b in r_rows]
+                ),
+                "S": Relation(
+                    ("a", "b"), [(f"n{a}", f"n{b}") for a, b in s_rows]
+                ),
+            }
+        )
+        query = parse_query("q(x,y,z) :- R(x,y), S(y,z)")
+        run = generic_join(query, db)
+        oracle = generic_join_tuples(query, db)
+        assert set(run.output) == set(oracle.output)
+        assert run.nodes_visited == oracle.nodes_visited
+        reduced = semijoin_reduce(query, db)
+        reduced_oracle = semijoin_reduce_tuples(query, db)
+        for name in db:
+            assert set(reduced[name]) == set(reduced_oracle[name])
+        assert acyclic_count(query, db) == acyclic_count_tuples(query, db)
+
+    @SETTINGS
+    @given(pairs, pairs)
+    def test_mixed_database_falls_back_whole(self, r_rows, s_rows):
+        # one encodable and one non-encodable relation in the same query
+        db = Database(
+            {
+                "R": Relation(("a", "b"), r_rows),
+                "S": Relation(
+                    ("a", "b"), [(f"{a}", f"{b}") for a, b in s_rows]
+                ),
+            }
+        )
+        query = parse_query("q(x,y,u,v) :- R(x,y), S(u,v)")
+        run = generic_join(query, db)
+        oracle = generic_join_tuples(query, db)
+        assert set(run.output) == set(oracle.output)
+        assert run.nodes_visited == oracle.nodes_visited
+
+
+class TestEdgeCases:
+    def test_empty_relation_everywhere(self):
+        db = Database(
+            {
+                "R": Relation(("a", "b"), []),
+                "S": Relation(("a", "b"), [(1, 2)]),
+            }
+        )
+        query = parse_query("q(x,y,z) :- R(x,y), S(y,z)")
+        run = generic_join(query, db)
+        assert run.count == 0 and run.nodes_visited == 0
+        reduced = semijoin_reduce(query, db)
+        assert len(reduced["R"]) == 0 and len(reduced["S"]) == 0
+        assert acyclic_count(query, db) == 0
+
+    def test_empty_mid_search_meters_match(self):
+        # R has rows but S kills every branch at the second level
+        db = Database(
+            {
+                "R": Relation(("a", "b"), [(1, 2), (3, 4)]),
+                "S": Relation(("a", "b"), [(9, 9)]),
+            }
+        )
+        query = parse_query("q(x,y,z) :- R(x,y), S(y,z)")
+        order = ("x", "y", "z")  # bind x first so the search visits nodes
+        fast = generic_join(query, db, order=order)
+        slow = generic_join_tuples(query, db, order=order)
+        assert fast.count == slow.count == 0
+        assert fast.nodes_visited == slow.nodes_visited > 0
+
+    def test_count_beyond_int64_stays_exact(self):
+        # 64^12 distinct star extensions: far beyond int64, and the
+        # columnar sweep must promote to exact Python integers.
+        fan = Relation(("m", "v"), [(0, i) for i in range(64)])
+        center = Relation(("m",), [(0,)])
+        head = ",".join(f"v{i}" for i in range(12))
+        body = ", ".join(f"F(m,v{i})" for i in range(12))
+        query = parse_query(f"huge(m,{head}) :- C(m), {body}")
+        db = Database({"C": center, "F": fan})
+        count = acyclic_count(query, db)
+        assert count == acyclic_count_tuples(query, db) == 64**12
+
+    def test_triangle_meter_on_generated_graph(self):
+        from repro.datasets import power_law_graph
+
+        db = Database({"R": power_law_graph(300, 1200, 0.5, seed=5)})
+        query = parse_query("t(x,y,z) :- R(x,y), R(y,z), R(z,x)")
+        assert_join_matches_oracle(query, db)

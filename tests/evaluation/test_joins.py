@@ -1,6 +1,5 @@
 """Unit tests for hash joins and left-deep evaluation."""
 
-import pytest
 
 from repro.evaluation.joins import evaluate_left_deep, hash_join
 from repro.query import parse_query

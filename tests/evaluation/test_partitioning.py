@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.degree import degree_sequence, max_degree
+from repro.core.degree import degree_sequence
 from repro.core.norms import log2_norm
 from repro.evaluation.partitioning import (
     partition_by_degree,

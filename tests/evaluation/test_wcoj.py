@@ -1,6 +1,5 @@
 """Unit tests for the worst-case-optimal join."""
 
-import math
 
 import pytest
 

@@ -58,6 +58,32 @@ class TestSemijoinReduce:
         assert set(reduced["C"]) == {(0,)}
         assert set(reduced["F"]) == {(0, 1), (0, 2)}
 
+    def test_disjoint_atoms_no_cross_product(self):
+        """Semijoin against a source sharing no variables keeps the target
+        exactly when the source is non-empty — no cross product is formed.
+
+        Regression test for the columnar path: the tuple `_semijoin`
+        returns `target_rows` whenever `source_rows` is non-empty, and the
+        code-space engine must reproduce that semantics bit for bit.
+        """
+        from repro.evaluation import semijoin_reduce_tuples
+
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        s = Relation(("c", "d"), [(7, 8)])
+        db = Database({"R": r, "S": s})
+        q = parse_query("Q(x,y,u,v) :- R(x,y), S(u,v)")
+        reduced = semijoin_reduce(q, db)
+        oracle = semijoin_reduce_tuples(q, db)
+        # non-empty disjoint source: everything survives, nothing is joined
+        assert set(reduced["R"]) == set(oracle["R"]) == {(1, 2), (3, 4)}
+        assert set(reduced["S"]) == set(oracle["S"]) == {(7, 8)}
+        # empty disjoint source: the whole output is empty, so is the target
+        empty_db = Database({"R": r, "S": Relation(("c", "d"), [])})
+        reduced = semijoin_reduce(q, empty_db)
+        oracle = semijoin_reduce_tuples(q, empty_db)
+        assert len(reduced["R"]) == len(oracle["R"]) == 0
+        assert len(reduced["S"]) == len(oracle["S"]) == 0
+
     def test_cyclic_rejected(self, graph_db, triangle_query):
         with pytest.raises(ValueError):
             semijoin_reduce(triangle_query, graph_db)

@@ -1,6 +1,5 @@
 """Property-based tests for the relational substrate."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

@@ -11,7 +11,6 @@ from repro.tightness import (
     domain_product,
     normal_relation,
 )
-from repro.relational import Relation
 
 
 class TestBasicNormalRelation:
