@@ -13,8 +13,8 @@ from repro.experiments.job import run_job_experiment
 from repro.experiments.harness import format_scientific
 
 
-def test_bench_job_figure1(once):
-    rows = once(run_job_experiment)
+def test_bench_job_figure1(once, imdb_db):
+    rows = once(run_job_experiment, imdb_db)
     assert len(rows) == 33
     print()
     used_norms = set()

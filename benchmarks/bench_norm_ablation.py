@@ -9,8 +9,8 @@ the paper's "wide variety of norms is useful" observation.
 from repro.experiments.norm_ablation import run_norm_ablation
 
 
-def test_bench_norm_ablation(once):
-    rows = once(run_norm_ablation)
+def test_bench_norm_ablation(once, imdb_db):
+    rows = once(run_norm_ablation, imdb_db)
     print()
     for r in rows:
         print(f"  {r.label:12s} geomean={r.geomean_ratio:10.3g} "

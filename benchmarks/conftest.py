@@ -18,3 +18,16 @@ def once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return runner
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    """The shared JOB-like IMDB database (scale 0.3, seed 7).
+
+    Session-scoped so bench_job / bench_norm_ablation time the estimation
+    pipeline, not dataset generation — the E3/E9 drivers take it via their
+    ``db`` parameter instead of rebuilding it every benchmark round.
+    """
+    from repro.datasets.imdb import imdb_database
+
+    return imdb_database(scale=0.3, seed=7)

@@ -1,7 +1,7 @@
 """Bench-trajectory tooling: normalize, compare, and rebase BENCH_*.json.
 
-CI runs the micro and evaluation benchmarks with ``--benchmark-json`` on
-every push, then uses this script to
+CI runs the micro, evaluation, LP-solver, and norm-ablation benchmarks
+with ``--benchmark-json`` on every push, then uses this script to
 
 1. ``normalize`` the raw pytest-benchmark dump into a compact
    ``BENCH_<sha>.json`` trajectory artifact (one median per benchmark,
@@ -10,7 +10,9 @@ every push, then uses this script to
    time tracks the host's Python speed), and
 2. ``compare`` the normalized medians against the committed baseline
    (``benchmarks/BENCH_baseline.json``), failing the job when any tracked
-   benchmark regresses beyond the tolerance (default 1.5×).
+   benchmark regresses beyond the tolerance (default 1.5×, per-benchmark
+   overrides in :data:`TOLERANCES`; one-shot experiment regenerations
+   with < 5 rounds stay informational).
 
 Comparing *normalized* ratios rather than raw seconds keeps the guard
 meaningful across differently-provisioned CI runners: a uniformly slow
@@ -38,6 +40,13 @@ from pathlib import Path
 CALIBRATION = "benchmarks/bench_micro.py::test_bench_degree_sequence_tuple_oracle"
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: Per-benchmark tolerance overrides (ratio of normalized medians).  The
+#: sub-2ms solver re-solve is scheduling-noise-dominated on shared
+#: runners, so it gets more slack than the default before failing the job.
+TOLERANCES = {
+    "benchmarks/bench_lp_solver.py::test_bench_lp_resolve_b_swap": 2.0,
+}
 
 
 def normalize(raw_path: str, sha: str) -> dict:
@@ -94,10 +103,11 @@ def compare(
             print(f"  [gone]    {name}")
             continue
         ratio = entry["normalized"] / base["normalized"]
+        allowed = TOLERANCES.get(name, tolerance)
         flag = "  OK      "
         if min(entry["rounds"], base["rounds"]) < min_rounds:
             flag = "  [info]   "
-        elif ratio > tolerance:
+        elif ratio > allowed:
             flag = "  REGRESS "
             failures.append((name, ratio))
         print(f"{flag}{name}: {entry['median_s'] * 1e3:.3f} ms "

@@ -19,13 +19,17 @@ paper-vs-measured record of every table and figure.
 
 from .core import (
     BoundResult,
+    BoundSolver,
+    BoundTask,
     ConcreteStatistic,
     Conditional,
+    StatisticsCatalog,
     StatisticsSet,
     collect_statistics,
     degree_sequence,
     log2_norm,
     lp_bound,
+    lp_bound_many,
     lp_norm,
     product_form,
     verify_certificate,
@@ -49,7 +53,11 @@ __all__ = [
     "log2_norm",
     "lp_norm",
     "lp_bound",
+    "lp_bound_many",
     "BoundResult",
+    "BoundSolver",
+    "BoundTask",
+    "StatisticsCatalog",
     "product_form",
     "verify_certificate",
     "__version__",

@@ -28,8 +28,14 @@ import math
 import sys
 from typing import Sequence
 
-from . import collect_statistics, lp_bound, parse_query
-from .core import product_form
+from . import parse_query
+from .core import (
+    BoundSolver,
+    BoundTask,
+    StatisticsCatalog,
+    lp_bound_many,
+    product_form,
+)
 from .relational import Database, Relation
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -80,7 +86,7 @@ def _load_csv_relation(path: str, name: str) -> Relation:
 
 
 def _cmd_bound(args: argparse.Namespace) -> int:
-    query = parse_query(args.query)
+    queries = [parse_query(text) for text in args.query]
     relations = {}
     for spec in args.table:
         name, _, path = spec.partition("=")
@@ -89,14 +95,30 @@ def _cmd_bound(args: argparse.Namespace) -> int:
             return 2
         relations[name] = _load_csv_relation(path, name)
     db = Database(relations)
-    stats = collect_statistics(query, db, ps=args.norms)
-    result = lp_bound(stats, query=query)
-    print(f"query    : {query}")
-    print(f"status   : {result.status} (cone: {result.cone})")
-    print(f"bound    : {result.bound:.6g}  (log2 = {result.log2_bound:.4f})")
-    if result.status == "optimal":
-        print(f"norms    : {result.norms_used()}")
-        print(f"certificate: |Q| ≤ {product_form(result)}")
+    # the batched pipeline: one catalog pass collects every query's
+    # statistics (shared lexsorts, multi-p norm batches), then the
+    # independent LPs fan out through one structure-cached solver.
+    catalog = StatisticsCatalog(db)
+    all_stats = catalog.precompute(queries, ps=args.norms)
+    results = lp_bound_many(
+        [
+            BoundTask(stats, query=query)
+            for query, stats in zip(queries, all_stats)
+        ],
+        solver=BoundSolver(),
+        max_workers=args.workers,
+    )
+    for i, (query, result) in enumerate(zip(queries, results)):
+        if i:
+            print()
+        print(f"query    : {query}")
+        print(f"status   : {result.status} (cone: {result.cone})")
+        print(
+            f"bound    : {result.bound:.6g}  (log2 = {result.log2_bound:.4f})"
+        )
+        if result.status == "optimal":
+            print(f"norms    : {result.norms_used()}")
+            print(f"certificate: |Q| ≤ {product_form(result)}")
     return 0
 
 
@@ -126,8 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    bound = sub.add_parser("bound", help="bound a query over CSV tables")
-    bound.add_argument("--query", required=True, help="datalog-style query")
+    bound = sub.add_parser("bound", help="bound queries over CSV tables")
+    bound.add_argument(
+        "--query",
+        required=True,
+        action="append",
+        help="datalog-style query (repeatable: queries share one "
+        "statistics pass and solver)",
+    )
+    bound.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads for solving many queries (default: cpu count)",
+    )
     bound.add_argument(
         "--table",
         action="append",

@@ -11,7 +11,14 @@ from .conditionals import (
     collect_statistics,
 )
 from .degree import average_degree, degree_sequence, max_degree
-from .lp_bound import CONES, BoundResult, lp_bound
+from .lp_bound import (
+    CONES,
+    BoundResult,
+    BoundSolver,
+    BoundTask,
+    lp_bound,
+    lp_bound_many,
+)
 from .norms import (
     log2_norm,
     lp_norm,
@@ -34,7 +41,10 @@ __all__ = [
     "norms_of_sequence",
     "sequence_from_norms",
     "lp_bound",
+    "lp_bound_many",
     "BoundResult",
+    "BoundSolver",
+    "BoundTask",
     "CONES",
     "product_form",
     "verify_certificate",

@@ -48,14 +48,21 @@ def degree_sequence(
 def max_degree(
     relation: Relation, v_attrs: Sequence[str], u_attrs: Sequence[str] = ()
 ) -> int:
-    """||deg(V|U)||_∞ as an integer (0 for an empty relation)."""
-    seq = degree_sequence(relation, v_attrs, u_attrs)
-    return int(seq[0]) if seq.size else 0
+    """||deg(V|U)||_∞ as an integer (0 for an empty relation).
+
+    Works on the raw group-size counts — the max of a multiset does not
+    need the O(N log N) sort a full degree sequence pays.
+    """
+    counts = relation.group_size_counts(tuple(u_attrs), tuple(v_attrs))
+    return int(counts.max()) if counts.size else 0
 
 
 def average_degree(
     relation: Relation, v_attrs: Sequence[str], u_attrs: Sequence[str] = ()
 ) -> float:
-    """avg(deg(V|U)) — what the textbook estimator (15)/(16) uses."""
-    seq = degree_sequence(relation, v_attrs, u_attrs)
-    return float(seq.mean()) if seq.size else 0.0
+    """avg(deg(V|U)) — what the textbook estimator (15)/(16) uses.
+
+    Computed from the unsorted counts; the mean is order-independent.
+    """
+    counts = relation.group_size_counts(tuple(u_attrs), tuple(v_attrs))
+    return float(counts.mean()) if counts.size else 0.0

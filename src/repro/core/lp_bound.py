@@ -30,7 +30,10 @@ and therefore "which norms were used" (the paper's Fig. 1 Norms column).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Iterable, Sequence
 
@@ -43,7 +46,14 @@ from ..entropy.vectors import EntropyVector
 from ..query.query import ConjunctiveQuery
 from .conditionals import ConcreteStatistic, StatisticsSet
 
-__all__ = ["BoundResult", "lp_bound", "CONES"]
+__all__ = [
+    "BoundResult",
+    "BoundSolver",
+    "BoundTask",
+    "lp_bound",
+    "lp_bound_many",
+    "CONES",
+]
 
 CONES = ("auto", "polymatroid", "normal", "modular")
 
@@ -133,26 +143,34 @@ def _variable_order(
     return tuple(seen)
 
 
-def _stat_row(
-    stat: ConcreteStatistic, index: dict[str, int], size: int
-) -> tuple[np.ndarray, float]:
-    """Dense coefficient row of the statistic constraint over subset masks.
+def _stat_structure(
+    variables: tuple[str, ...], statistics: StatisticsSet
+) -> tuple[tuple[tuple[int, int, float], ...], np.ndarray]:
+    """The LP-relevant *structure* of a statistics set, plus its b vector.
 
-    (1/p)h(U) + h(UV) − h(U) ≤ b  ⟺  h(UV) + (1/p − 1)·h(U) ≤ b.
+    Each statistic contributes one constraint
+    (1/p)h(U) + h(UV) − h(U) ≤ b  ⟺  h(UV) + (1/p − 1)·h(U) ≤ b,
+    fully described by ``(mask_u, mask_uv, 1/p)`` over subset masks — at
+    most two nonzeros, never a dense 2^n row.  The structure is the
+    constraint matrix's identity: two statistics sets with equal structure
+    differ only in ``b``, which is exactly what :class:`BoundSolver`'s
+    re-solve path swaps.
     """
-    row = np.zeros(size)
-    cond = stat.conditional
-    mask_u = 0
-    for u in cond.u:
-        mask_u |= 1 << index[u]
-    mask_uv = mask_u
-    for v in cond.v:
-        mask_uv |= 1 << index[v]
-    inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
-    row[mask_uv] += 1.0
-    if mask_u:
-        row[mask_u] += inv_p - 1.0
-    return row, stat.log2_bound
+    index = {v: i for i, v in enumerate(variables)}
+    struct = []
+    b = np.empty(len(statistics))
+    for i, stat in enumerate(statistics):
+        cond = stat.conditional
+        mask_u = 0
+        for u in cond.u:
+            mask_u |= 1 << index[u]
+        mask_uv = mask_u
+        for v in cond.v:
+            mask_uv |= 1 << index[v]
+        inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
+        struct.append((mask_u, mask_uv, inv_p))
+        b[i] = stat.log2_bound
+    return tuple(struct), b
 
 
 def _solve(
@@ -173,132 +191,142 @@ def _neg_shannon_block(n: int) -> tuple[sparse.csr_matrix, int]:
     return (-shannon).tocsr(), shannon.shape[0]
 
 
-def _polymatroid_lp(
-    variables: tuple[str, ...],
-    statistics: StatisticsSet,
-    extra_inequalities: Sequence[np.ndarray],
-) -> BoundResult:
-    n = len(variables)
+@dataclass
+class _Assembly:
+    """A cached constraint skeleton: everything but the b vector.
+
+    For the polymatroid cone ``a_stats`` holds the statistic rows (≤2
+    nonzeros each, assembled as COO — never through dense 2^n rows) and
+    ``a_ub`` the full stat+Shannon matrix; for the step cones ``a_ub`` is
+    the dense statistic-row matrix over the deduplicated step-function
+    ``candidates`` (``None`` when there are no statistics).
+    """
+
+    cone: str
+    num_stats: int
+    a_ub: "sparse.csr_matrix | np.ndarray | None"
+    c: np.ndarray
+    bounds: list[tuple[float, float | None]]
+    a_stats: "sparse.csr_matrix | None" = None
+    candidates: np.ndarray | None = None
+
+
+def _stat_block(
+    struct: Sequence[tuple[int, int, float]], size: int
+) -> sparse.csr_matrix:
+    """The statistic constraint rows as a sparse matrix, built directly in
+    COO form (duplicate entries sum; explicit zeros are eliminated, so the
+    result is bit-identical to densifying each row first)."""
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for i, (mask_u, mask_uv, inv_p) in enumerate(struct):
+        rows.append(i)
+        cols.append(mask_uv)
+        data.append(1.0)
+        if mask_u:
+            rows.append(i)
+            cols.append(mask_u)
+            data.append(inv_p - 1.0)
+    block = sparse.coo_matrix(
+        (data, (rows, cols)), shape=(len(struct), size)
+    ).tocsr()
+    block.eliminate_zeros()
+    return block
+
+
+def _assemble_polymatroid(
+    n: int, struct: Sequence[tuple[int, int, float]]
+) -> _Assembly:
     if n > _POLYMATROID_MAX_VARS:
         raise ValueError(
             f"polymatroid cone limited to {_POLYMATROID_MAX_VARS} variables "
             f"(got {n}); use cone='normal' for simple statistics"
         )
-    index = {v: i for i, v in enumerate(variables)}
     size = 1 << n
-    stat_rows = []
-    b_stats = []
-    for stat in statistics:
-        row, b = _stat_row(stat, index, size)
-        stat_rows.append(row)
-        b_stats.append(b)
-    neg_shannon, shannon_rows = _neg_shannon_block(n)  # −A from A·h ≥ 0
-    blocks = []
-    if stat_rows:
-        blocks.append(sparse.csr_matrix(np.array(stat_rows)))
-    blocks.append(neg_shannon)
-    for vec in extra_inequalities:
-        vec = np.asarray(vec, float)
-        if vec.shape != (size,):
-            raise ValueError(
-                f"extra inequality must have length {size}, got {vec.shape}"
-            )
-        blocks.append(sparse.csr_matrix(-vec.reshape(1, -1)))
-    a_ub = sparse.vstack(blocks, format="csr")
-    b_ub = np.concatenate(
-        [
-            np.asarray(b_stats, float),
-            np.zeros(shannon_rows + len(extra_inequalities)),
-        ]
-    )
+    neg_shannon, _ = _neg_shannon_block(n)  # −A from A·h ≥ 0
+    a_stats = _stat_block(struct, size) if struct else None
+    if a_stats is not None:
+        a_ub = sparse.vstack([a_stats, neg_shannon], format="csr")
+    else:
+        a_ub = sparse.vstack([neg_shannon], format="csr")
     c = np.zeros(size)
     c[size - 1] = -1.0
     bounds = [(0.0, 0.0)] + [(0.0, None)] * (size - 1)
-    res = _solve(c, a_ub, b_ub, bounds)
-    num_stats = len(stat_rows)
-    if res.status == 3:
-        return BoundResult(math.inf, "polymatroid", "unbounded", variables, statistics)
-    if res.status == 2:
-        return BoundResult(-math.inf, "polymatroid", "infeasible", variables, statistics)
-    if res.status != 0:
-        return BoundResult(
-            math.nan, "polymatroid", f"error: {res.message}", variables, statistics
-        )
-    duals = -np.asarray(res.ineqlin.marginals[:num_stats], float)
-    return BoundResult(
-        float(-res.fun),
-        "polymatroid",
-        "optimal",
-        variables,
-        statistics,
-        dual_weights=duals,
-        h_values=np.asarray(res.x, float),
-    )
+    return _Assembly("polymatroid", len(struct), a_ub, c, bounds, a_stats)
 
 
-def _step_cone_lp(
-    variables: tuple[str, ...],
-    statistics: StatisticsSet,
-    cone: str,
-) -> BoundResult:
-    """LP over positive combinations of step functions.
-
-    ``cone='normal'`` uses all non-empty W (deduplicated by intersection
-    pattern with the constraint sets); ``cone='modular'`` only singletons.
-    """
-    n = len(variables)
-    index = {v: i for i, v in enumerate(variables)}
-    stat_masks: list[tuple[int, int, float, float]] = []
-    for stat in statistics:
-        cond = stat.conditional
-        mask_u = 0
-        for u in cond.u:
-            mask_u |= 1 << index[u]
-        mask_uv = mask_u
-        for v in cond.v:
-            mask_uv |= 1 << index[v]
-        inv_p = 0.0 if stat.p == math.inf else 1.0 / stat.p
-        stat_masks.append((mask_u, mask_uv, inv_p, stat.log2_bound))
-
+def _step_candidates(
+    n: int, cone: str, struct: Sequence[tuple[int, int, float]]
+) -> np.ndarray:
+    """Step-function masks W: singletons (modular) or all non-empty W
+    deduplicated by intersection pattern with the constraint sets."""
     if cone == "modular":
-        candidates = np.array([1 << i for i in range(n)], dtype=np.int64)
-    else:
-        if n > _NORMAL_MAX_VARS:
-            raise ValueError(
-                f"normal cone limited to {_NORMAL_MAX_VARS} variables (got {n})"
-            )
-        all_w = np.arange(1, 1 << n, dtype=np.int64)
-        relevant = sorted(
-            {m for mu, muv, _, _ in stat_masks for m in (mu, muv) if m}
+        return np.array([1 << i for i in range(n)], dtype=np.int64)
+    if n > _NORMAL_MAX_VARS:
+        raise ValueError(
+            f"normal cone limited to {_NORMAL_MAX_VARS} variables (got {n})"
         )
-        if relevant:
-            patterns = np.stack(
-                [(all_w & g) != 0 for g in relevant], axis=1
-            )
-            _, keep = np.unique(patterns, axis=0, return_index=True)
-            candidates = all_w[np.sort(keep)]
-        else:
-            candidates = all_w[:1]
+    all_w = np.arange(1, 1 << n, dtype=np.int64)
+    relevant = sorted({m for mu, muv, _ in struct for m in (mu, muv) if m})
+    if not relevant:
+        return all_w[:1]
+    patterns = np.stack([(all_w & g) != 0 for g in relevant], axis=1)
+    _, keep = np.unique(patterns, axis=0, return_index=True)
+    return all_w[np.sort(keep)]
 
+
+def _assemble_step_cone(
+    n: int, cone: str, struct: Sequence[tuple[int, int, float]]
+) -> _Assembly:
+    candidates = _step_candidates(n, cone, struct)
     m = len(candidates)
     rows = []
-    b_ub = []
-    for mask_u, mask_uv, inv_p, b in stat_masks:
+    for mask_u, mask_uv, inv_p in struct:
         hit_uv = ((candidates & mask_uv) != 0).astype(float)
         hit_u = (
             ((candidates & mask_u) != 0).astype(float) if mask_u else 0.0
         )
         rows.append(hit_uv + (inv_p - 1.0) * hit_u)
-        b_ub.append(b)
-    if rows:
-        a_ub = np.array(rows)
-        b_arr = np.asarray(b_ub, float)
-    else:
-        a_ub = None
-        b_arr = None
+    a_ub = np.array(rows) if rows else None
     # every non-empty W intersects X, so h(X) = Σ_W α_W
     c = -np.ones(m)
-    res = _solve(c, a_ub, b_arr, [(0.0, None)] * m)
+    bounds = [(0.0, None)] * m
+    return _Assembly(cone, len(struct), a_ub, c, bounds, None, candidates)
+
+
+def _solve_assembly(
+    assembly: _Assembly,
+    b_stats: np.ndarray,
+    variables: tuple[str, ...],
+    statistics: StatisticsSet,
+    extra_inequalities: Sequence[np.ndarray] = (),
+) -> BoundResult:
+    """Run the LP for an assembled skeleton and wrap up a BoundResult."""
+    cone = assembly.cone
+    if cone == "polymatroid":
+        a_ub = assembly.a_ub
+        extra_rows = len(extra_inequalities)
+        if extra_rows:
+            size = len(assembly.c)
+            blocks = [a_ub]
+            for vec in extra_inequalities:
+                vec = np.asarray(vec, float)
+                if vec.shape != (size,):
+                    raise ValueError(
+                        f"extra inequality must have length {size}, "
+                        f"got {vec.shape}"
+                    )
+                blocks.append(sparse.csr_matrix(-vec.reshape(1, -1)))
+            a_ub = sparse.vstack(blocks, format="csr")
+        shannon_rows = a_ub.shape[0] - assembly.num_stats - extra_rows
+        b_ub = np.concatenate(
+            [b_stats, np.zeros(shannon_rows + extra_rows)]
+        )
+        res = _solve(assembly.c, a_ub, b_ub, assembly.bounds)
+    else:
+        b_arr = b_stats if assembly.num_stats else None
+        res = _solve(assembly.c, assembly.a_ub, b_arr, assembly.bounds)
     if res.status == 3:
         return BoundResult(math.inf, cone, "unbounded", variables, statistics)
     if res.status == 2:
@@ -307,15 +335,28 @@ def _step_cone_lp(
         return BoundResult(
             math.nan, cone, f"error: {res.message}", variables, statistics
         )
+    if cone == "polymatroid":
+        duals = -np.asarray(res.ineqlin.marginals[: assembly.num_stats], float)
+        return BoundResult(
+            float(-res.fun),
+            cone,
+            "optimal",
+            variables,
+            statistics,
+            dual_weights=duals,
+            h_values=np.asarray(res.x, float),
+        )
     duals = (
-        -np.asarray(res.ineqlin.marginals, float) if rows else np.zeros(0)
+        -np.asarray(res.ineqlin.marginals, float)
+        if assembly.num_stats
+        else np.zeros(0)
     )
     alpha = {
         int(w): float(a)
-        for w, a in zip(candidates, res.x)
+        for w, a in zip(assembly.candidates, res.x)
         if a > 1e-12
     }
-    size = 1 << n
+    size = 1 << len(variables)
     h_values = np.zeros(size)
     for w_mask, a in alpha.items():
         masks = np.arange(size)
@@ -330,6 +371,33 @@ def _step_cone_lp(
         h_values=h_values,
         normal_coefficients=alpha,
     )
+
+
+def _polymatroid_lp(
+    variables: tuple[str, ...],
+    statistics: StatisticsSet,
+    extra_inequalities: Sequence[np.ndarray],
+) -> BoundResult:
+    struct, b_stats = _stat_structure(variables, statistics)
+    assembly = _assemble_polymatroid(len(variables), struct)
+    return _solve_assembly(
+        assembly, b_stats, variables, statistics, extra_inequalities
+    )
+
+
+def _step_cone_lp(
+    variables: tuple[str, ...],
+    statistics: StatisticsSet,
+    cone: str,
+) -> BoundResult:
+    """LP over positive combinations of step functions.
+
+    ``cone='normal'`` uses all non-empty W (deduplicated by intersection
+    pattern with the constraint sets); ``cone='modular'`` only singletons.
+    """
+    struct, b_stats = _stat_structure(variables, statistics)
+    assembly = _assemble_step_cone(len(variables), cone, struct)
+    return _solve_assembly(assembly, b_stats, variables, statistics)
 
 
 def lp_bound(
@@ -366,21 +434,296 @@ def lp_bound(
     if not isinstance(statistics, StatisticsSet):
         statistics = StatisticsSet(statistics)
     order = _variable_order(query, statistics, variables)
+    cone = _resolve_cone(cone, order, statistics, bool(extra_inequalities))
+    if cone in ("normal", "modular"):
+        return _step_cone_lp(order, statistics, cone)
+    return _polymatroid_lp(order, statistics, list(extra_inequalities))
+
+
+def _resolve_cone(
+    cone: str,
+    order: tuple[str, ...],
+    statistics: StatisticsSet,
+    has_extra: bool,
+) -> str:
+    """Validate inputs and resolve ``auto`` to a concrete cone."""
     if not order:
         raise ValueError("no variables: provide a query or variables=")
     if cone not in CONES:
         raise ValueError(f"unknown cone {cone!r}; expected one of {CONES}")
     if cone == "auto":
-        if extra_inequalities:
-            cone = "polymatroid"
-        elif statistics.is_simple and len(order) <= _NORMAL_MAX_VARS:
-            cone = "normal"
+        if has_extra:
+            return "polymatroid"
+        if statistics.is_simple and len(order) <= _NORMAL_MAX_VARS:
+            return "normal"
+        return "polymatroid"
+    if cone in ("normal", "modular") and has_extra:
+        raise ValueError("extra_inequalities require the polymatroid cone")
+    return cone
+
+
+class BoundSolver:
+    """Structure-cached LP solving for repeated bound computations.
+
+    A workload (an experiment sweep, a join-order search, a scale series)
+    solves the *same LP shapes* over and over: the constraint matrix is
+    fully determined by the variable order and the statistics structure
+    (which conditionals, which p's — see :func:`_stat_structure`), while
+    only the right-hand side ``b`` carries the measured norms.  The solver
+    therefore keeps two caches:
+
+    * an **assembly cache** keyed by (cone, variable order, structure):
+      the sparse constraint skeleton is built once and re-solves swap only
+      ``b_ub`` — scale sweeps and per-dataset repetitions of one query
+      template never re-assemble;
+    * a **result memo** keyed additionally by the ``b`` values: repeated
+      requests for the *identical* bound (the plan-search pattern — every
+      candidate plan re-costs the same subqueries) are answered without
+      calling the LP solver at all.
+
+    Every fresh solve goes through the exact code path of :func:`lp_bound`
+    on a bit-identical constraint matrix, so results are numerically
+    identical to the one-shot path; memo hits return the previously
+    computed numbers re-bound to the caller's statistics set.  Thread-safe
+    (used by :func:`lp_bound_many`).
+    """
+
+    def __init__(self, memoize_results: bool = True) -> None:
+        self._assemblies: dict[tuple, _Assembly] = {}
+        self._results: dict[tuple, BoundResult] = {}
+        self._memoize = memoize_results
+        self._lock = threading.Lock()
+        self.assembly_hits = 0
+        self.assembly_misses = 0
+        self.result_hits = 0
+        self.solves = 0
+        self.family_slices = 0
+
+    # ------------------------------------------------------------------
+    def cached_assemblies(self) -> int:
+        return len(self._assemblies)
+
+    def cached_results(self) -> int:
+        return len(self._results)
+
+    # ------------------------------------------------------------------
+    def _assembly_for(
+        self,
+        cone: str,
+        order: tuple[str, ...],
+        struct: tuple[tuple[int, int, float], ...],
+    ) -> _Assembly:
+        key = (cone, order, struct)
+        with self._lock:
+            assembly = self._assemblies.get(key)
+            if assembly is not None:
+                self.assembly_hits += 1
+                return assembly
+            self.assembly_misses += 1
+        if cone == "polymatroid":
+            assembly = _assemble_polymatroid(len(order), struct)
         else:
-            cone = "polymatroid"
-    if cone in ("normal", "modular"):
+            assembly = _assemble_step_cone(len(order), cone, struct)
+        with self._lock:
+            return self._assemblies.setdefault(key, assembly)
+
+    def solve(
+        self,
+        statistics: StatisticsSet | Iterable[ConcreteStatistic],
+        query: ConjunctiveQuery | None = None,
+        cone: str = "auto",
+        variables: Sequence[str] | None = None,
+        extra_inequalities: Sequence[np.ndarray] = (),
+    ) -> BoundResult:
+        """Drop-in replacement for :func:`lp_bound`, served from the caches.
+
+        ``extra_inequalities`` bypass the caches (their vectors have no
+        compact structure key) and delegate to :func:`lp_bound` directly.
+        """
+        if not isinstance(statistics, StatisticsSet):
+            statistics = StatisticsSet(statistics)
         if extra_inequalities:
-            raise ValueError(
-                "extra_inequalities require the polymatroid cone"
+            return lp_bound(
+                statistics,
+                query=query,
+                cone=cone,
+                variables=variables,
+                extra_inequalities=extra_inequalities,
             )
-        return _step_cone_lp(order, statistics, cone)
-    return _polymatroid_lp(order, statistics, list(extra_inequalities))
+        order = _variable_order(query, statistics, variables)
+        cone = _resolve_cone(cone, order, statistics, False)
+        struct, b_stats = _stat_structure(order, statistics)
+        return self._solve_structured(cone, order, struct, b_stats, statistics)
+
+    def _solve_structured(
+        self,
+        cone: str,
+        order: tuple[str, ...],
+        struct: tuple[tuple[int, int, float], ...],
+        b_stats: np.ndarray,
+        statistics: StatisticsSet,
+        assembly: _Assembly | None = None,
+    ) -> BoundResult:
+        memo_key = None
+        if self._memoize:
+            memo_key = (cone, order, struct, b_stats.tobytes())
+            with self._lock:
+                cached = self._results.get(memo_key)
+                if cached is not None:
+                    self.result_hits += 1
+                    return replace(cached, statistics=statistics)
+        if assembly is None:
+            assembly = self._assembly_for(cone, order, struct)
+        result = _solve_assembly(assembly, b_stats, order, statistics)
+        with self._lock:
+            self.solves += 1
+            if memo_key is not None:
+                self._results[memo_key] = result
+        return result
+
+    def solve_family(
+        self,
+        statistics: StatisticsSet,
+        ps: Iterable[float],
+        query: ConjunctiveQuery | None = None,
+        cone: str = "auto",
+        variables: Sequence[str] | None = None,
+    ) -> BoundResult:
+        """Bound from the sub-family of ``statistics`` with p ∈ ``ps``.
+
+        Equivalent to ``solve(statistics.restrict_ps(ps), ...)`` — but on
+        the polymatroid cone the restricted constraint matrix is obtained
+        by *slicing rows* of the cached full-family assembly (statistic
+        rows are independent, so the slice is bit-identical to assembling
+        the restricted set from scratch).  Step cones re-derive their
+        candidate columns from the restricted masks — the deduplication
+        pattern changes with the family — and go through the normal
+        structure cache instead.
+        """
+        if not isinstance(statistics, StatisticsSet):
+            statistics = StatisticsSet(statistics)
+        allowed = set(ps)
+        restricted = statistics.restrict_ps(allowed)
+        order = _variable_order(query, restricted, variables)
+        cone = _resolve_cone(cone, order, restricted, False)
+        known = set(order)
+        if cone != "polymatroid" or any(
+            not (s.conditional.variables <= known) for s in statistics
+        ):
+            # step cones re-derive candidates; a full set mentioning
+            # variables outside the restricted order cannot share masks.
+            return self.solve(
+                restricted, query=query, cone=cone, variables=variables
+            )
+        full_struct, full_b = _stat_structure(order, statistics)
+        keep = [i for i, s in enumerate(statistics) if s.p in allowed]
+        struct = tuple(full_struct[i] for i in keep)
+        b_stats = full_b[keep]
+        key = ("polymatroid", order, struct)
+        with self._lock:
+            assembly = self._assemblies.get(key)
+        if assembly is None:
+            full = self._assembly_for("polymatroid", order, full_struct)
+            if full.a_stats is not None and keep:
+                neg_shannon, _ = _neg_shannon_block(len(order))
+                a_stats = full.a_stats[keep]
+                assembly = _Assembly(
+                    "polymatroid",
+                    len(struct),
+                    sparse.vstack([a_stats, neg_shannon], format="csr"),
+                    full.c,
+                    full.bounds,
+                    a_stats,
+                )
+            else:
+                assembly = _assemble_polymatroid(len(order), struct)
+            with self._lock:
+                assembly = self._assemblies.setdefault(key, assembly)
+                self.family_slices += 1
+        else:
+            with self._lock:
+                self.assembly_hits += 1
+        return self._solve_structured(
+            "polymatroid", order, struct, b_stats, restricted, assembly
+        )
+
+
+@dataclass
+class BoundTask:
+    """One independent bound computation for :func:`lp_bound_many`.
+
+    ``family`` (when given) restricts ``statistics`` to that norm family
+    via :meth:`BoundSolver.solve_family`; ``statistics`` then holds the
+    full set.
+    """
+
+    statistics: StatisticsSet
+    query: ConjunctiveQuery | None = None
+    cone: str = "auto"
+    variables: tuple[str, ...] | None = None
+    family: tuple[float, ...] | None = None
+
+
+def _run_task(task: BoundTask, solver: BoundSolver) -> BoundResult:
+    if task.family is not None:
+        return solver.solve_family(
+            task.statistics,
+            task.family,
+            query=task.query,
+            cone=task.cone,
+            variables=task.variables,
+        )
+    return solver.solve(
+        task.statistics,
+        query=task.query,
+        cone=task.cone,
+        variables=task.variables,
+    )
+
+
+def _run_task_cold(task: BoundTask) -> BoundResult:
+    """Process-pool worker: the plain one-shot path (nothing shared)."""
+    statistics = task.statistics
+    if task.family is not None:
+        statistics = statistics.restrict_ps(task.family)
+    return lp_bound(
+        statistics,
+        query=task.query,
+        cone=task.cone,
+        variables=task.variables,
+    )
+
+
+def lp_bound_many(
+    tasks: Iterable[BoundTask],
+    solver: BoundSolver | None = None,
+    max_workers: int | None = None,
+    executor: str = "auto",
+) -> list[BoundResult]:
+    """Solve many independent bound LPs, preserving task order.
+
+    ``executor`` is one of ``"auto"``, ``"serial"``, ``"thread"``,
+    ``"process"``.  ``auto`` picks threads when more than one worker is
+    available and serial otherwise; the thread pool shares one
+    :class:`BoundSolver` (pass ``solver=`` to share caches across calls),
+    while the process pool re-solves cold in each worker (results are
+    identical either way).  The result list is always in task order.
+    """
+    tasks = list(tasks)
+    if solver is None:
+        solver = BoundSolver()
+    workers = max_workers or min(max(len(tasks), 1), os.cpu_count() or 1)
+    if executor == "auto":
+        executor = "thread" if workers > 1 else "serial"
+    if executor == "serial":
+        return [_run_task(task, solver) for task in tasks]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda t: _run_task(t, solver), tasks))
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_task_cold, tasks))
+    raise ValueError(
+        f"unknown executor {executor!r}; "
+        "expected auto, serial, thread, or process"
+    )

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core import collect_statistics, lp_bound
+from ..core import BoundSolver, StatisticsCatalog
 from ..core.formulas import cycle_agm, cycle_bound, cycle_panda
 from ..core.norms import log2_norm
 from ..core.degree import degree_sequence
@@ -72,8 +72,14 @@ class CycleExperiment:
         return min(self.rows, key=lambda r: r.log2_bound).q
 
 
-def run_cycle_experiment(p: int, m: int = 2048) -> CycleExperiment:
-    """Run E4 for one p: the (p+1)-cycle on an (α,β)=(1/(p+1),1/(p+1)) relation."""
+def run_cycle_experiment(
+    p: int, m: int = 2048, solver: BoundSolver | None = None
+) -> CycleExperiment:
+    """Run E4 for one p: the (p+1)-cycle on an (α,β)=(1/(p+1),1/(p+1)) relation.
+
+    ``solver`` may be shared across runs (e.g. a scale sweep over ``m``
+    re-solves the same cycle LP structure with only the norms changed).
+    """
     length = p + 1
     relation = alpha_beta_relation(1.0 / length, 1.0 / length, m)
     query = cycle_query(length)
@@ -94,8 +100,8 @@ def run_cycle_experiment(p: int, m: int = 2048) -> CycleExperiment:
             )
         )
     ps = [float(k) for k in range(1, p + 1)] + [math.inf]
-    stats = collect_statistics(query, db, ps=ps)
-    lp = lp_bound(stats, query=query)
+    (stats,) = StatisticsCatalog(db).precompute([query], ps=ps)
+    lp = (solver or BoundSolver()).solve(stats, query=query)
     return CycleExperiment(
         p=p,
         m=m,
@@ -113,8 +119,9 @@ def run_cycle_experiment(p: int, m: int = 2048) -> CycleExperiment:
 def main(ps: tuple[int, ...] = (2, 3, 4), m: int = 2048) -> str:
     """Render E4 for several cycle lengths."""
     sections = []
+    solver = BoundSolver()
     for p in ps:
-        exp = run_cycle_experiment(p, m=m)
+        exp = run_cycle_experiment(p, m=m, solver=solver)
         table = format_table(
             ["bound", "log2", "ratio to |Q|"],
             [

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core import collect_statistics, lp_bound
+from ..core import BoundSolver, StatisticsCatalog
 from ..core.formulas import dsb_gap_certificate
 from ..core.norms import log2_norm
 from ..core.degree import degree_sequence
@@ -95,8 +95,8 @@ def run_dsb_gap_experiment(m: int = 19683, max_p: int = 10) -> DsbGapResult:
     true_count = acyclic_count(GAP_QUERY, db)
     dsb = dsb_single_join(GAP_QUERY, db)
     ps = [float(p) for p in range(1, max_p + 1)] + [math.inf]
-    stats = collect_statistics(GAP_QUERY, db, ps=ps)
-    lp = lp_bound(stats, query=GAP_QUERY)
+    (stats,) = StatisticsCatalog(db).precompute([GAP_QUERY], ps=ps)
+    lp = BoundSolver().solve(stats, query=GAP_QUERY)
     # atom R(x,y) binds the relation's (x, y) columns directly; atom S(y,z)
     # binds S.x to the query's y and S.y to the query's z.
     seq_r = degree_sequence(r, ["x"], ["y"])

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core import collect_statistics, lp_bound
+from ..core import BoundSolver, BoundTask, StatisticsCatalog, lp_bound_many
 from ..datasets.imdb import imdb_database
 from ..datasets.job_queries import JOB_QUERY_IDS, job_query
 from ..estimators.textbook import textbook_estimate_log2
@@ -51,14 +51,22 @@ def run_job_experiment(
     """Run E3; one row per query id (all 33 by default)."""
     database = db if db is not None else imdb_database(scale=scale, seed=seed)
     ids = query_ids or JOB_QUERY_IDS
+    queries = [job_query(qid) for qid in ids]
+    # batched pipeline: one catalog pass extracts every degree sequence of
+    # the whole workload (prefix-shared lexsorts, multi-p norm batches),
+    # then all 3 bounds per query fan out through one solver.
+    catalog = StatisticsCatalog(database)
+    all_stats = catalog.precompute(queries, ps=JOB_PS)
+    tasks = []
+    for query, stats in zip(queries, all_stats):
+        tasks.append(BoundTask(stats, query=query))
+        tasks.append(BoundTask(stats, query=query, family=(1.0,)))
+        tasks.append(BoundTask(stats, query=query, family=(1.0, math.inf)))
+    results = lp_bound_many(tasks, solver=BoundSolver())
     rows = []
-    for qid in ids:
-        query = job_query(qid)
+    for i, (qid, query) in enumerate(zip(ids, queries)):
         true_count = acyclic_count(query, database)
-        stats = collect_statistics(query, database, ps=JOB_PS)
-        ours = lp_bound(stats, query=query)
-        agm = lp_bound(stats.restrict_ps([1.0]), query=query)
-        panda = lp_bound(stats.restrict_ps([1.0, math.inf]), query=query)
+        ours, agm, panda = results[3 * i: 3 * i + 3]
         rows.append(
             JobRow(
                 query_id=qid,

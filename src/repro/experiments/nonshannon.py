@@ -26,7 +26,7 @@ from ..core.conditionals import (
     Conditional,
     StatisticsSet,
 )
-from ..core.lp_bound import lp_bound
+from ..core.lp_bound import BoundSolver
 from ..entropy.zhang_yeung import zhang_yeung_coefficients
 from ..query.query import Atom, ConjunctiveQuery
 
@@ -103,9 +103,10 @@ def run_nonshannon_experiment(k: float = 1.0) -> NonShannonResult:
     """Run E7: polymatroid LP with and without the ZY inequality."""
     query = theorem_d3_query()
     stats = theorem_d3_statistics(k)
-    plain = lp_bound(stats, query=query, cone="polymatroid")
+    solver = BoundSolver()
+    plain = solver.solve(stats, query=query, cone="polymatroid")
     zy = zhang_yeung_coefficients(query.variables)
-    enhanced = lp_bound(
+    enhanced = solver.solve(
         stats, query=query, cone="polymatroid", extra_inequalities=[zy]
     )
     return NonShannonResult(

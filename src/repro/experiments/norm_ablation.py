@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core import collect_statistics, lp_bound
+from ..core import BoundSolver, BoundTask, StatisticsCatalog, lp_bound_many
 from ..datasets.imdb import imdb_database
 from ..datasets.job_queries import JOB_QUERY_IDS, job_query
 from ..evaluation import acyclic_count
@@ -63,18 +63,27 @@ def run_norm_ablation(
     database = db if db is not None else imdb_database(scale=scale, seed=seed)
     ids = query_ids or JOB_QUERY_IDS
     all_ps = sorted(set().union(*families))
-    per_query = []
-    for qid in ids:
-        query = job_query(qid)
-        true_count = acyclic_count(query, database)
-        stats = collect_statistics(query, database, ps=all_ps)
-        per_query.append((query, stats, true_count))
+    queries = [job_query(qid) for qid in ids]
+    # batched pipeline: the full-family statistics of all queries are
+    # precomputed in one catalog pass, and the 7 families × |queries|
+    # independent solves fan out through one solver (each family slices
+    # the full statistics set instead of re-collecting it).
+    catalog = StatisticsCatalog(database)
+    all_stats = catalog.precompute(queries, ps=all_ps)
+    true_counts = [acyclic_count(query, database) for query in queries]
+    tasks = [
+        BoundTask(stats, query=query, family=family)
+        for family in families
+        for query, stats in zip(queries, all_stats)
+    ]
+    results = lp_bound_many(tasks, solver=BoundSolver())
     rows = []
-    for family in families:
-        log2_ratios = []
-        for query, stats, true_count in per_query:
-            result = lp_bound(stats.restrict_ps(family), query=query)
-            log2_ratios.append(result.log2_bound - math.log2(true_count))
+    for k, family in enumerate(families):
+        family_results = results[k * len(queries): (k + 1) * len(queries)]
+        log2_ratios = [
+            result.log2_bound - math.log2(true_count)
+            for result, true_count in zip(family_results, true_counts)
+        ]
         rows.append(
             AblationRow(
                 family=family,

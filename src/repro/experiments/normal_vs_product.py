@@ -26,7 +26,7 @@ from ..core.conditionals import (
     Conditional,
     StatisticsSet,
 )
-from ..core.lp_bound import lp_bound
+from ..core.lp_bound import BoundSolver
 from ..query.query import Atom, ConjunctiveQuery
 from ..relational import Database, Relation
 from ..tightness import build_worst_case
@@ -119,7 +119,7 @@ def run_normal_vs_product(b_log2: float = 12.0) -> Example67Result:
     """Run E6 with B = 2^b_log2."""
     query = example67_query()
     stats = example67_statistics(b_log2)
-    bound = lp_bound(stats, query=query, cone="normal")
+    bound = BoundSolver().solve(stats, query=query, cone="normal")
     worst = build_worst_case(query, bound)
     normal_count = len(worst.witness)
     product_db = _best_product_database(b_log2)

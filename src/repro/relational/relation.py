@@ -433,6 +433,31 @@ class Relation:
         sizes = self._group_sizes_tuples(gpos, vpos)
         return np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
 
+    def prefix_group_size_counts(
+        self,
+        order_attrs: Sequence[str],
+        splits: Sequence[tuple[int, int]],
+    ) -> list["np.ndarray"]:
+        """Group-size multisets for many conditionals sharing a sort order.
+
+        Split ``(u_len, uv_len)`` is the conditional grouped by
+        ``order_attrs[:u_len]`` counting distinct ``order_attrs[u_len:uv_len]``
+        values.  With a columnar twin all splits are served from a single
+        lexsort (:func:`repro.relational.columnar.prefix_run_counts`);
+        otherwise each split falls back to :meth:`group_size_counts`.
+        """
+        self.positions(order_attrs)  # validate attribute names
+        col = self.columnar()
+        if col is not None:
+            return col.prefix_group_size_counts(tuple(order_attrs), splits)
+        return [
+            self.group_size_counts(
+                tuple(order_attrs[:u_len]),
+                tuple(order_attrs[u_len:uv_len]),
+            )
+            for u_len, uv_len in splits
+        ]
+
     def distinct_count(self, attrs: Sequence[str]) -> int:
         """Number of distinct values in the projection onto ``attrs``."""
         pos = self.positions(attrs)
