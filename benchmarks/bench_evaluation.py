@@ -40,8 +40,10 @@ def test_bench_evaluation_runtime(once):
         assert r.parts_evaluated > 1  # the partitioning actually happened
 
 
-def test_bench_wcoj_triangle_columnar(benchmark, db):
+def test_bench_wcoj_triangle_columnar(benchmark, traced_peak, db):
     """Triangle counting through the vectorized sorted-codes engine."""
+    _, peak = traced_peak(generic_join, TRIANGLE, db)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
     run = benchmark(generic_join, TRIANGLE, db)
     assert run.count > 0
 
@@ -52,8 +54,10 @@ def test_bench_wcoj_triangle_tuple_oracle(benchmark, db):
     assert run.count > 0
 
 
-def test_bench_wcoj_loomis_whitney_columnar(benchmark, db):
+def test_bench_wcoj_loomis_whitney_columnar(benchmark, traced_peak, db):
     """LW(3) counting through the vectorized sorted-codes engine."""
+    _, peak = traced_peak(generic_join, LOOMIS_WHITNEY, db)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
     run = benchmark(generic_join, LOOMIS_WHITNEY, db)
     assert run.count > 0
 

@@ -1,0 +1,74 @@
+"""E14 — the blocked streaming frontier on the closed star join.
+
+Regenerates: the star-join sweep of ``repro.experiments.star`` at one
+fixed fan-out.  The closed star query's intermediate frontier is
+``fan_out²`` partial bindings against a ``fan_out``-row output — the
+workload the breadth-first Generic Join cannot scale on.  Asserts the
+paper-level shape: the blocked engine returns bit-identical rows, row
+order, and meter while holding peak traced allocation at least an order
+of magnitude below the unblocked engine's (locally ~30× at this size).
+
+Both engines' timings and peak traced allocations feed the CI
+trajectory: ``peak_traced_kb`` lands in ``extra_info`` and
+``benchmarks/trajectory.py`` guards the memory series exactly like the
+timing series.
+"""
+
+from repro.datasets import star_database, star_query
+from repro.evaluation import generic_join
+
+import pytest
+
+#: fan_out² = 262144 live bindings unblocked; the block caps that at 8192.
+FAN_OUT = 512
+FRONTIER_BLOCK = 8192
+
+QUERY = star_query(2)
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    db = star_database(FAN_OUT)
+    generic_join(QUERY, db)  # warm the per-relation trie caches
+    return db
+
+
+def test_bench_star_unblocked(benchmark, traced_peak, star_db):
+    """The breadth-first frontier: peak memory ∝ fan_out²."""
+    _, peak = traced_peak(generic_join, QUERY, star_db)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
+    run = benchmark(generic_join, QUERY, star_db)
+    assert run.count == FAN_OUT
+
+
+def test_bench_star_blocked(benchmark, traced_peak, star_db):
+    """The streamed frontier: peak memory ∝ block × depth."""
+    _, peak = traced_peak(
+        generic_join, QUERY, star_db, frontier_block=FRONTIER_BLOCK
+    )
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
+    run = benchmark(
+        generic_join, QUERY, star_db, frontier_block=FRONTIER_BLOCK
+    )
+    assert run.count == FAN_OUT
+
+
+def test_star_memory_guard(traced_peak, star_db):
+    """Acceptance guard (runs even in single-round CI smoke mode).
+
+    The unblocked frontier must need ≥10× the blocked engine's peak
+    traced allocation on the star workload, with bit-identical output
+    rows, row order, and ``nodes_visited`` — the blocked engine is the
+    same search, sliced, not an approximation.
+    """
+    unblocked, peak_unblocked = traced_peak(generic_join, QUERY, star_db)
+    blocked, peak_blocked = traced_peak(
+        generic_join, QUERY, star_db, frontier_block=FRONTIER_BLOCK
+    )
+    assert list(blocked.output) == list(unblocked.output)
+    assert blocked.nodes_visited == unblocked.nodes_visited
+    assert peak_unblocked >= 10 * peak_blocked, (
+        f"blocked frontier lost its memory edge: unblocked "
+        f"{peak_unblocked / 1e6:.1f} MB vs blocked "
+        f"{peak_blocked / 1e6:.1f} MB"
+    )

@@ -6,7 +6,33 @@ once per session (pedantic mode, 1 round) and asserts the paper's
 qualitative *shape* — who wins, by roughly what factor — on top of timing.
 """
 
+import tracemalloc
+
 import pytest
+
+
+@pytest.fixture
+def traced_peak():
+    """Measure one call's peak traced allocation: ``(result, peak_bytes)``.
+
+    NumPy registers its buffer allocations with ``tracemalloc``, so the
+    peak covers the columnar engine's working set — a deterministic,
+    machine-independent stand-in for peak RSS.  Benchmarks record it via
+    ``benchmark.extra_info["peak_traced_kb"]``, which
+    ``benchmarks/trajectory.py`` turns into the CI memory-trajectory
+    series.
+    """
+
+    def measure(fn, *args, **kwargs):
+        tracemalloc.start()
+        try:
+            result = fn(*args, **kwargs)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return result, peak
+
+    return measure
 
 
 @pytest.fixture

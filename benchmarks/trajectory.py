@@ -7,12 +7,18 @@ with ``--benchmark-json`` on every push, then uses this script to
    ``BENCH_<sha>.json`` trajectory artifact (one median per benchmark,
    plus a *machine-speed-normalized* ratio against a designated
    calibration benchmark — a pure tuple-at-a-time workload whose absolute
-   time tracks the host's Python speed), and
+   time tracks the host's Python speed — and, for benchmarks that record
+   one, the peak traced allocation), and
 2. ``compare`` the normalized medians against the committed baseline
    (``benchmarks/BENCH_baseline.json``), failing the job when any tracked
    benchmark regresses beyond the tolerance (default 1.5×, per-benchmark
    overrides in :data:`TOLERANCES`; one-shot experiment regenerations
-   with < 5 rounds stay informational).
+   with < 5 rounds stay informational).  Benchmarks carrying a
+   ``peak_traced_kb`` in their ``extra_info`` (the ``traced_peak``
+   fixture of ``benchmarks/conftest.py``) get the same guard on peak
+   memory (default 1.5×, overrides in :data:`MEM_TOLERANCES`); traced
+   allocation is deterministic per commit, so the memory series needs no
+   machine normalization and no minimum round count.
 
 Comparing *normalized* ratios rather than raw seconds keeps the guard
 meaningful across differently-provisioned CI runners: a uniformly slow
@@ -48,18 +54,27 @@ TOLERANCES = {
     "benchmarks/bench_lp_solver.py::test_bench_lp_resolve_b_swap": 2.0,
 }
 
+#: Per-benchmark peak-memory tolerance overrides (ratio of peak_kb).
+#: Traced peaks are deterministic, so the default 1.5× is already slack;
+#: overrides belong here only for benchmarks whose working set depends on
+#: allocator rounding at small absolute sizes.
+MEM_TOLERANCES: dict[str, float] = {}
+
 
 def normalize(raw_path: str, sha: str) -> dict:
-    """Compact {benchmark -> median, normalized} from a raw benchmark dump."""
+    """Compact {benchmark -> median, normalized[, peak_kb]} from a raw dump."""
     with open(raw_path) as handle:
         raw = json.load(handle)
-    medians = {
-        bench["fullname"]: {
+    medians = {}
+    for bench in raw["benchmarks"]:
+        entry = {
             "median_s": bench["stats"]["median"],
             "rounds": bench["stats"]["rounds"],
         }
-        for bench in raw["benchmarks"]
-    }
+        peak = bench.get("extra_info", {}).get("peak_traced_kb")
+        if peak is not None:
+            entry["peak_kb"] = peak
+        medians[bench["fullname"]] = entry
     if CALIBRATION not in medians:
         raise SystemExit(
             f"calibration benchmark {CALIBRATION!r} missing from {raw_path}"
@@ -81,14 +96,17 @@ def compare(
     baseline_path: str,
     tolerance: float,
     min_rounds: int = 5,
+    mem_tolerance: float = 1.5,
 ) -> int:
-    """Exit non-zero when a tracked normalized median regresses.
+    """Exit non-zero when a tracked median or peak allocation regresses.
 
     Benchmarks present only on one side are reported but never fail the
     job (new benchmarks enter the baseline at the next rebase), and
     benchmarks timed with fewer than ``min_rounds`` rounds on either side
     (e.g. the one-shot experiment regenerations) are informational only —
-    a single-sample median is too noisy to gate on.
+    a single-sample median is too noisy to gate on.  The peak-memory
+    series has no such escape hatch: traced allocation is deterministic,
+    so one sample is the measurement.
     """
     with open(current_path) as handle:
         current = json.load(handle)
@@ -96,7 +114,8 @@ def compare(
         baseline = json.load(handle)
     failures = []
     print(f"baseline {baseline['sha']} -> current {current['sha']} "
-          f"(tolerance {tolerance:.2f}x on normalized medians)")
+          f"(tolerance {tolerance:.2f}x on normalized medians, "
+          f"{mem_tolerance:.2f}x on peak traced allocations)")
     for name, base in sorted(baseline["benchmarks"].items()):
         entry = current["benchmarks"].get(name)
         if entry is None:
@@ -109,17 +128,34 @@ def compare(
             flag = "  [info]   "
         elif ratio > allowed:
             flag = "  REGRESS "
-            failures.append((name, ratio))
+            failures.append((name, "time", ratio))
         print(f"{flag}{name}: {entry['median_s'] * 1e3:.3f} ms "
               f"({ratio:.2f}x of baseline)")
+    print("\npeak traced allocation:")
+    tracked_mem = False
+    for name, base in sorted(baseline["benchmarks"].items()):
+        entry = current["benchmarks"].get(name, {})
+        base_peak = base.get("peak_kb")
+        peak = entry.get("peak_kb")
+        if base_peak is None or peak is None or base_peak <= 0:
+            continue
+        tracked_mem = True
+        ratio = peak / base_peak
+        allowed = MEM_TOLERANCES.get(name, mem_tolerance)
+        flag = "  OK      "
+        if ratio > allowed:
+            flag = "  REGRESS "
+            failures.append((name, "memory", ratio))
+        print(f"{flag}{name}: {peak:.1f} kB ({ratio:.2f}x of baseline)")
+    if not tracked_mem:
+        print("  (no benchmark records peak_traced_kb on both sides)")
     for name in sorted(set(current["benchmarks"]) - set(baseline["benchmarks"])):
         print(f"  [new]     {name}: "
               f"{current['benchmarks'][name]['median_s'] * 1e3:.3f} ms")
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed beyond "
-              f"{tolerance:.2f}x:")
-        for name, ratio in failures:
-            print(f"  {name}: {ratio:.2f}x")
+        print(f"\n{len(failures)} series regressed beyond tolerance:")
+        for name, series, ratio in failures:
+            print(f"  {name} [{series}]: {ratio:.2f}x")
         return 1
     print("\nno regressions")
     return 0
@@ -134,11 +170,14 @@ def main(argv: list[str] | None = None) -> int:
     norm.add_argument("--sha", required=True)
     norm.add_argument("-o", "--output", required=True)
 
-    comp = sub.add_parser("compare", help="guard against median regressions")
+    comp = sub.add_parser(
+        "compare", help="guard against median / peak-memory regressions"
+    )
     comp.add_argument("current")
     comp.add_argument("--baseline", default=str(BASELINE_PATH))
     comp.add_argument("--tolerance", type=float, default=1.5)
     comp.add_argument("--min-rounds", type=int, default=5)
+    comp.add_argument("--mem-tolerance", type=float, default=1.5)
 
     rebase = sub.add_parser("rebase", help="raw dump -> committed baseline")
     rebase.add_argument("raw")
@@ -152,7 +191,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "compare":
         return compare(
-            args.current, args.baseline, args.tolerance, args.min_rounds
+            args.current,
+            args.baseline,
+            args.tolerance,
+            args.min_rounds,
+            args.mem_tolerance,
         )
     if args.command == "rebase":
         result = normalize(args.raw, args.sha)

@@ -54,6 +54,7 @@ EXPERIMENTS: dict[str, str] = {
     "E11": "chain",
     "E12": "loomis_whitney",
     "E13": "appendix_b",
+    "E14": "star",
 }
 
 
@@ -129,9 +130,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; try `list`", file=sys.stderr)
         return 2
     import importlib
+    import inspect
 
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    print(module.main())
+    kwargs = {}
+    if args.frontier_block is not None:
+        if args.frontier_block < 1:
+            print(
+                f"--frontier-block must be ≥ 1, got {args.frontier_block}",
+                file=sys.stderr,
+            )
+            return 2
+        # only the drivers that evaluate queries expose the knob
+        if "frontier_block" not in inspect.signature(module.main).parameters:
+            print(
+                f"experiment {key} does not take --frontier-block",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["frontier_block"] = args.frontier_block
+    print(module.main(**kwargs))
     return 0
 
 
@@ -178,7 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
     bound.set_defaults(func=_cmd_bound)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
-    experiment.add_argument("id", help="experiment id (E1..E13) or module name")
+    experiment.add_argument("id", help="experiment id (E1..E14) or module name")
+    experiment.add_argument(
+        "--frontier-block",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the WCOJ's live frontier at N candidate bindings per "
+        "level (experiments that evaluate queries, e.g. E14); results "
+        "are bit-identical to the unblocked run",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     lister = sub.add_parser("list", help="list available experiments")

@@ -2,8 +2,12 @@
 
 from .generators import (
     alpha_beta_relation,
+    clique_graph,
+    fan_out_relation,
     matching_relation,
     power_law_graph,
+    star_database,
+    star_query,
     zipf_values,
 )
 from .imdb import IMDB_RELATIONS, imdb_database
@@ -15,6 +19,10 @@ __all__ = [
     "alpha_beta_relation",
     "matching_relation",
     "zipf_values",
+    "fan_out_relation",
+    "clique_graph",
+    "star_query",
+    "star_database",
     "SNAP_SPECS",
     "SnapSpec",
     "load_snap_graph",

@@ -1,6 +1,6 @@
 """Synthetic data generators: skewed graphs and the paper's gadgets.
 
-Everything is seeded and deterministic.  Three families:
+Everything is seeded and deterministic.  Four families:
 
 * :func:`power_law_graph` — heavy-tailed random graphs standing in for the
   SNAP datasets (see DESIGN.md for the substitution argument);
@@ -8,7 +8,11 @@ Everything is seeded and deterministic.  Three families:
   (M^α values of degree M^β, the rest of degree 1, on both sides), the
   paper's gadget for every asymptotic separation;
 * :func:`zipf_values` — Zipf-distributed foreign keys for the IMDB-like
-  benchmark substrate.
+  benchmark substrate;
+* the adversarial-frontier gadgets — :func:`fan_out_relation`,
+  :func:`clique_graph`, and the :func:`star_query`/:func:`star_database`
+  workload whose intermediate WCOJ frontier is quadratically larger than
+  its output (the stress case for the blocked streaming frontier).
 """
 
 from __future__ import annotations
@@ -17,13 +21,19 @@ from typing import Sequence
 
 import numpy as np
 
-from ..relational import Relation
+from ..query import parse_query
+from ..query.query import ConjunctiveQuery
+from ..relational import Database, Relation
 
 __all__ = [
     "zipf_values",
     "power_law_graph",
     "alpha_beta_relation",
     "matching_relation",
+    "fan_out_relation",
+    "clique_graph",
+    "star_query",
+    "star_database",
 ]
 
 
@@ -128,3 +138,85 @@ def alpha_beta_relation(alpha: float, beta: float, m: int) -> Relation:
 def matching_relation(n: int, attributes: Sequence[str] = ("x", "y")) -> Relation:
     """The diagonal {(i, i) : i < n} — Example B.1's worst case for [14]."""
     return Relation(tuple(attributes), ((i, i) for i in range(n)), name="diag")
+
+
+def fan_out_relation(
+    num_hubs: int,
+    fan_out: int,
+    attributes: Sequence[str] = ("h", "v"),
+    name: str = "fan",
+) -> Relation:
+    """Every hub joined to every leaf: {(h, v) : h < num_hubs, v < fan_out}.
+
+    The maximal-fan-out gadget: deg(v | h) = ``fan_out`` for every hub,
+    so any query re-using the hub variable multiplies frontiers by
+    ``fan_out`` per arm.  Built column-first (vectorized, no Python row
+    loop).
+    """
+    if num_hubs < 1 or fan_out < 1:
+        raise ValueError("num_hubs and fan_out must be ≥ 1")
+    hubs = np.repeat(np.arange(num_hubs, dtype=np.int64), fan_out)
+    leaves = np.tile(np.arange(fan_out, dtype=np.int64), num_hubs)
+    return Relation.from_columns(tuple(attributes), [hubs, leaves], name=name)
+
+
+def clique_graph(
+    num_nodes: int, attributes: Sequence[str] = ("x", "y"), name: str = "K"
+) -> Relation:
+    """The complete graph K_n as ordered pairs {(i, j) : i ≠ j}.
+
+    Every k-clique query on it realises its AGM bound up to constants —
+    the classical worst case for join evaluation, useful for metering
+    adversarial (dense) frontiers at small sizes.
+    """
+    if num_nodes < 2:
+        raise ValueError("clique_graph needs at least 2 nodes")
+    n = np.int64(num_nodes)
+    flat = np.arange(n * (n - 1), dtype=np.int64)
+    xs = flat // (n - 1)
+    rest = flat % (n - 1)
+    ys = rest + (rest >= xs)  # skip the diagonal
+    return Relation.from_columns(tuple(attributes), [xs, ys], name=name)
+
+
+def star_query(arms: int = 2) -> ConjunctiveQuery:
+    """The closed star query with ``arms`` arms.
+
+    ``q(h, x1..xk, z) :- R1(h,x1), …, Rk(h,xk), T1(x1,z), …, Tk(xk,z)``:
+    a hub fans out into ``k`` arm variables which must then agree on one
+    closing variable ``z``.  On :func:`star_database` instances with
+    ``arms=2`` the default (most-shared-first) WCOJ order binds
+    ``h, x1, x2, z``, so the live frontier peaks at
+    ``num_hubs · fan_out²`` partial bindings while the output is only
+    ``num_hubs · fan_out`` rows — the gap the blocked frontier closes.
+    """
+    if arms < 1:
+        raise ValueError("star_query needs at least one arm")
+    xs = [f"x{i}" for i in range(1, arms + 1)]
+    body = ", ".join(f"R{i}(h,{x})" for i, x in enumerate(xs, start=1))
+    tails = ", ".join(f"T{i}({x},z)" for i, x in enumerate(xs, start=1))
+    head = ",".join(["h", *xs, "z"])
+    return parse_query(f"star{arms}({head}) :- {body}, {tails}")
+
+
+def star_database(
+    fan_out: int, num_hubs: int = 1, arms: int = 2
+) -> Database:
+    """The database :func:`star_query` runs against.
+
+    Every arm relation ``Ri`` is the same :func:`fan_out_relation`
+    (each hub sees all ``fan_out`` leaves) and every closing tail ``Ti``
+    is the diagonal over the leaves, so a binding survives the last
+    level iff all arms chose the same leaf.  One relation object is
+    shared across the arm (and tail) names — set semantics make the
+    self-share exact and the sorted-codes tries are built once.
+    """
+    if arms < 1:
+        raise ValueError("star_database needs at least one arm")
+    fan = fan_out_relation(num_hubs, fan_out, ("h", "v"), name="fan")
+    tail = matching_relation(fan_out, ("v", "z")).with_name("tail")
+    relations: dict[str, Relation] = {}
+    for i in range(1, arms + 1):
+        relations[f"R{i}"] = fan
+        relations[f"T{i}"] = tail
+    return Database(relations)

@@ -22,12 +22,11 @@ import itertools
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.conditionals import ConcreteStatistic
 from ..core.lp_bound import BoundResult
 from ..query.query import Atom, ConjunctiveQuery
 from ..relational import Database, Relation
+from ..relational.columnar import ChunkedColumns
 from .panda_algorithm import evaluate_part, theorem26_log2_budget
 from .partitioning import partition_for_statistic
 
@@ -62,19 +61,23 @@ def _union_outputs(
     """Deduplicated union of the per-combination outputs.
 
     When every non-empty part output carries a columnar twin the union is
-    column-wise: decode each twin to value arrays, concatenate, and let
-    :meth:`Relation.from_columns` deduplicate through composite keys —
-    no per-row Python loop.  Falls back to a tuple-set union otherwise.
+    column-wise: each twin's decoded value arrays stream into one
+    :class:`~repro.relational.columnar.ChunkedColumns` accumulator (one
+    concatenation pass per column at finalize, regardless of how many
+    part outputs there are) and :meth:`Relation.from_columns`
+    deduplicates through composite keys — no per-row Python loop.  Falls
+    back to a tuple-set union otherwise.
     """
     non_empty = [o for o in outputs if len(o)]
     twins = [o.columnar() for o in non_empty]
     if non_empty and all(t is not None for t in twins):
-        columns = [
-            np.concatenate([t.dictionary(v)[t.codes(v)] for t in twins])
-            for v in query.variables
-        ]
+        acc = ChunkedColumns(len(query.variables))
+        for twin in twins:
+            acc.append(
+                [twin.dictionary(v)[twin.codes(v)] for v in query.variables]
+            )
         return Relation.from_columns(
-            query.variables, columns, name=query.name
+            query.variables, acc.finalize(), name=query.name
         )
     rows: set[tuple] = set()
     for output in non_empty:
@@ -98,6 +101,7 @@ def evaluate_with_partitioning(
     bound: BoundResult,
     max_parts: int = 4096,
     weight_tol: float = 1e-7,
+    frontier_block: int | None = None,
 ) -> PartitionedRun:
     """Run the Theorem 2.6 algorithm driven by an LP bound certificate.
 
@@ -105,6 +109,10 @@ def evaluate_with_partitioning(
     non-empty U require partitioning (ℓ1 and ℓ∞ statistics are already in
     PANDA's language).  Atoms not guarded by any such statistic pass
     through whole.
+
+    ``frontier_block`` bounds each per-part WCOJ's live frontier (see
+    :func:`repro.evaluation.wcoj.generic_join`); output, meters, and
+    part accounting are identical for every setting.
 
     Raises ``ValueError`` if the combination count would exceed
     ``max_parts`` — the part count is exponential in Σ p_i (that is the
@@ -158,7 +166,9 @@ def evaluate_with_partitioning(
         relations = dict(base)
         for atom, part in zip(rewritten_atoms, combo):
             relations[atom.relation] = part
-        run = evaluate_part(rewritten, Database(relations))
+        run = evaluate_part(
+            rewritten, Database(relations), frontier_block=frontier_block
+        )
         parts_evaluated += 1
         nodes_total += run.nodes_visited
         outputs.append(run.output)

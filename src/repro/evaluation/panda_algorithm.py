@@ -25,9 +25,18 @@ from .wcoj import JoinRun, generic_join
 __all__ = ["evaluate_part", "theorem26_log2_budget"]
 
 
-def evaluate_part(query: ConjunctiveQuery, db_part: Database) -> JoinRun:
-    """Evaluate the query on one strongly-satisfying database part."""
-    return generic_join(query, db_part)
+def evaluate_part(
+    query: ConjunctiveQuery,
+    db_part: Database,
+    frontier_block: int | None = None,
+) -> JoinRun:
+    """Evaluate the query on one strongly-satisfying database part.
+
+    ``frontier_block`` caps the WCOJ's live frontier (see
+    :func:`repro.evaluation.wcoj.generic_join`); the output and meter are
+    identical for every setting.
+    """
+    return generic_join(query, db_part, frontier_block=frontier_block)
 
 
 def theorem26_log2_budget(result: BoundResult, tol: float = 1e-9) -> float:

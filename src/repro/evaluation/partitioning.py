@@ -35,6 +35,23 @@ __all__ = [
 ]
 
 
+def _bucket_row_runs(
+    row_buckets: np.ndarray,
+) -> list[tuple[int, np.ndarray]]:
+    """(bucket value, ascending row indices) per distinct bucket, ascending.
+
+    One stable argsort + run slicing instead of a full ``row_buckets == b``
+    scan per bucket — O(N log N) total where the per-bucket scans were
+    O(N · #buckets).  Each run's indices ascend (stable sort), matching
+    ``np.nonzero`` output exactly, so parts are byte-identical.
+    """
+    order = np.argsort(row_buckets, kind="stable")
+    sorted_buckets = row_buckets[order]
+    run_starts = np.nonzero(np.diff(sorted_buckets))[0] + 1
+    values = sorted_buckets[np.append(np.int64(0), run_starts)]
+    return list(zip(values.tolist(), np.split(order, run_starts)))
+
+
 def strongly_satisfies(
     relation: Relation,
     v_attrs: Sequence[str],
@@ -95,8 +112,8 @@ def partition_by_degree(
     if profile is not None:
         _, _, _, _, row_buckets = profile
         return [
-            relation._take_rows(np.nonzero(row_buckets == b)[0])
-            for b in np.unique(row_buckets)
+            relation._take_rows(rows)
+            for _, rows in _bucket_row_runs(row_buckets)
         ]
     sizes = relation.group_sizes(tuple(u_attrs), tuple(v_attrs))
     bucket_of = {u: int(math.floor(math.log2(d))) for u, d in sizes.items()}
@@ -160,12 +177,13 @@ def partition_for_statistic(
     if profile is not None:
         group_keys, unique_keys, counts, group_buckets, row_buckets = profile
         parts: list[Relation] = []
-        for b in np.unique(group_buckets):
+        # every group has at least one row, so the row-derived buckets
+        # enumerate exactly np.unique(group_buckets), ascending.
+        for b, row_sel in _bucket_row_runs(row_buckets):
             group_mask = group_buckets == b
             d_max = int(counts[group_mask].max())
             bucket_groups = unique_keys[group_mask]
             capacity = _bucket_capacity(d_max, len(bucket_groups), p, log2_bound)
-            row_sel = np.nonzero(row_buckets == b)[0]
             # rank of each row's U-value inside the bucket, ascending key
             # order — identical to the tuple path's sorted(u_values) slices
             ranks = np.searchsorted(bucket_groups, group_keys[row_sel])

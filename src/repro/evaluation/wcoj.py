@@ -15,10 +15,23 @@ Two implementations share the same search tree:
 * a vectorized engine over :class:`~repro.relational.columnar.CodeTrie`
   sorted-codes tries: every atom's rows are re-encoded into one global
   dictionary per variable, sorted lexicographically in the global
-  variable order, and the search proceeds level-by-level on a whole
-  *frontier* of partial bindings at once — children of the seed atom are
-  expanded in one gather and intersected against the other participating
-  atoms with batched ``searchsorted`` membership tests.
+  variable order, and the search proceeds on *blocks* of partial
+  bindings — children of each binding's seed atom are expanded in one
+  gather and intersected against the other participating atoms with
+  batched ``searchsorted`` membership tests.
+
+The vectorized engine is a depth-first traversal over frontier blocks.
+With ``frontier_block=None`` each level's whole frontier is one block,
+recovering the level-synchronous breadth-first expansion (peak live
+memory proportional to the widest frontier).  With ``frontier_block=N``
+the flattened child space of every block is enumerated in slices of at
+most ``N`` candidates (:meth:`CodeTrie.children_at`), each surviving
+sub-block descends all the way before the next slice is touched, and
+finished bindings stream into a
+:class:`~repro.relational.columnar.ChunkedColumns` accumulator — peak
+live memory beyond the output drops to O(block × depth).  Blocks are
+slices of one fixed parent-major candidate order, so output rows, their
+order, and the meter are bit-identical for every block size.
 
 :func:`generic_join` dispatches to the vectorized engine whenever every
 atom's relation dictionary-encodes, falling back otherwise.  Both engines
@@ -38,7 +51,12 @@ import numpy as np
 
 from ..query.query import Atom, ConjunctiveQuery
 from ..relational import Database, Relation
-from ..relational.columnar import CodeTrie, ColumnarRelation, remap_codes
+from ..relational.columnar import (
+    ChunkedColumns,
+    CodeTrie,
+    ColumnarRelation,
+    remap_codes,
+)
 from .joins import _atom_table
 
 __all__ = ["generic_join", "generic_join_tuples", "count_query", "JoinRun"]
@@ -122,6 +140,7 @@ def generic_join(
     query: ConjunctiveQuery,
     db: Database,
     order: Sequence[str] | None = None,
+    frontier_block: int | None = None,
 ) -> JoinRun:
     """Evaluate a full conjunctive query worst-case optimally.
 
@@ -129,6 +148,14 @@ def generic_join(
     ----------
     order:
         Global variable order; defaults to a most-shared-first heuristic.
+    frontier_block:
+        Maximum number of candidate bindings the vectorized engine holds
+        live per search level.  ``None`` expands each level's whole
+        frontier at once (fastest, peak memory proportional to the widest
+        intermediate frontier); a positive block streams the search in
+        O(block × depth) live memory — output rows, their order, and the
+        meter are bit-identical for every setting.  The tuple fallback is
+        one-binding-at-a-time and ignores the parameter.
 
     Returns
     -------
@@ -138,8 +165,10 @@ def generic_join(
     else falls back to :func:`generic_join_tuples`.  Output rows (as a
     set) and the meter are identical either way.
     """
+    if frontier_block is not None and frontier_block < 1:
+        raise ValueError(f"frontier_block must be ≥ 1, got {frontier_block}")
     order = _resolve_order(query, order)
-    run = _generic_join_columnar(query, db, order)
+    run = _generic_join_columnar(query, db, order, frontier_block)
     if run is not None:
         return run
     return generic_join_tuples(query, db, order)
@@ -208,18 +237,34 @@ def generic_join_tuples(
 
 
 def _generic_join_columnar(
-    query: ConjunctiveQuery, db: Database, order: tuple[str, ...]
+    query: ConjunctiveQuery,
+    db: Database,
+    order: tuple[str, ...],
+    frontier_block: int | None = None,
 ) -> JoinRun | None:
-    """The batched sorted-codes engine; ``None`` means fall back.
+    """The blocked sorted-codes engine; ``None`` means fall back.
 
-    The frontier is a batch of partial bindings, one int64 code column
-    per bound variable.  At each level the participating atom with the
-    fewest trie children *seeds* candidate values (expanded in one
-    gather), the other participants filter them with batched membership
-    tests, and the surviving (binding, value) pairs become the next
-    frontier — whole-batch expansion instead of per-binding recursion,
-    with the visited count unchanged because both engines enumerate
-    exactly the intersection at every node.
+    A frontier block is a batch of partial bindings, one int64 code
+    column per bound variable.  At each level the participating atom with
+    the fewest trie children *seeds* each binding's candidate values, the
+    other participants filter them with batched membership tests, and the
+    surviving (binding, value) pairs form the next block — whole-block
+    expansion instead of per-binding recursion, with the visited count
+    unchanged because both engines enumerate exactly the intersection at
+    every node.
+
+    Candidates are enumerated in one fixed *parent-major* order: the
+    flattened (binding, seed-child) space, bindings in frontier order,
+    each binding's children ascending in its seed trie.  The traversal is
+    depth-first over slices of that space — ``frontier_block=None`` takes
+    each level's whole space as a single slice (breadth-first expansion,
+    peak memory proportional to the widest frontier), a finite block
+    caps every live slice at ``frontier_block`` candidates and descends
+    each surviving sub-block to the bottom before touching the next
+    slice, streaming finished bindings into a :class:`ChunkedColumns`
+    accumulator.  Because the candidate order is block-independent and
+    survival of a candidate depends only on its own binding, output rows,
+    their order, and the meter are bit-identical for every block size.
 
     Each atom's trie lives in its own relation's code space (so tries are
     cacheable per relation and column order); candidate codes cross atom
@@ -266,13 +311,25 @@ def _generic_join_columnar(
             last_level[atom_idx] = order_index[var]
 
     n = len(order)
-    n_front = 1
-    atom_node = [np.zeros(1, dtype=np.int64) for _ in tables]
-    binding_cols: list[np.ndarray] = []
-    level_dicts: list[np.ndarray] = []  # decode dictionary per level
+    n_atoms = len(tables)
+    # decode dictionary per level: the first participant's (the canonical
+    # code space candidates are expressed in).  Uncovered levels raise at
+    # runtime iff a non-empty frontier actually reaches them (matching
+    # the tuple engine, which also only raises on a live branch).
+    canon_of: list[np.ndarray | None] = []
+    for level_parts in atoms_at:
+        if level_parts:
+            canon_idx, canon_depth = level_parts[0]
+            canon_of.append(dict_of[canon_idx][canon_depth])
+        else:
+            canon_of.append(None)
+
+    sink = ChunkedColumns(n)
     visited = 0
 
-    for level in range(n):
+    def expand(level, n_front, atom_node, binding_cols):
+        """Yield the surviving sub-blocks of one frontier block, in order."""
+        nonlocal visited
         participants = atoms_at[level]
         if not participants:
             raise RuntimeError(
@@ -280,95 +337,162 @@ def _generic_join_columnar(
             )
         # per-binding seed choice: the participant with the fewest trie
         # children at this node — the vectorized analogue of the tuple
-        # engine's min(views, key=len), which keeps the expanded batch at
+        # engine's min(views, key=len), which keeps the expanded space at
         # Σ_b min_i deg_i(b) instead of min_i Σ_b deg_i(b).
         ranges = [
             tries[i].children_ranges(d, atom_node[i]) for i, d in participants
         ]
-        canon_idx, canon_depth = participants[0]
-        canon_dict = dict_of[canon_idx][canon_depth]
         if len(participants) == 1:
-            groups = [np.arange(n_front)]
+            seed_choice = None
+            seed_counts = ranges[0][1]
         else:
             counts_matrix = np.stack([counts for _, counts in ranges])
             seed_choice = np.argmin(counts_matrix, axis=0)
-            groups = [
-                np.nonzero(seed_choice == s)[0]
-                for s in range(len(participants))
-            ]
-        parent_segments: list[np.ndarray] = []
-        code_segments: list[np.ndarray] = []
-        node_segments: dict[int, list[np.ndarray]] = {
-            i: [] for i, _ in participants
-        }
-        for s, (seed_idx, seed_depth) in enumerate(participants):
-            selected = groups[s]
-            if len(selected) == 0:
-                continue
-            seed_dict = dict_of[seed_idx][seed_depth]
-            first, counts = ranges[s]
-            if len(selected) == n_front:
-                sub_nodes, sub_ranges = atom_node[seed_idx], (first, counts)
-            else:
-                sub_nodes = atom_node[seed_idx][selected]
-                sub_ranges = (first[selected], counts[selected])
-            local_parent, seed_children, candidates = tries[
-                seed_idx
-            ].expand_children(seed_depth, sub_nodes, ranges=sub_ranges)
-            parent = selected[local_parent]
-            new_nodes = {seed_idx: seed_children}
-            keep = None
-            for atom_idx, depth in participants:
-                if atom_idx == seed_idx:
-                    continue
-                own_dict = dict_of[atom_idx][depth]
-                if own_dict is seed_dict:
-                    aligned = candidates
-                else:
-                    aligned = remap_codes(candidates, seed_dict, own_dict)
-                found, children = tries[atom_idx].find_children(
-                    depth, atom_node[atom_idx][parent], aligned
-                )
-                if aligned is not candidates:
-                    found &= aligned >= 0
-                new_nodes[atom_idx] = children
-                keep = found if keep is None else keep & found
-            if keep is not None and not keep.all():
-                chosen = np.nonzero(keep)[0]
-                parent = parent[chosen]
-                candidates = candidates[chosen]
-                new_nodes = {i: ids[chosen] for i, ids in new_nodes.items()}
-            if len(candidates) == 0:
-                continue
-            if seed_dict is not canon_dict:
-                # survivors exist in every participant, so the canonical
-                # participant's dictionary contains them: remap is lossless
-                candidates = remap_codes(candidates, seed_dict, canon_dict)
-            parent_segments.append(parent)
-            code_segments.append(candidates)
-            for atom_idx, ids in new_nodes.items():
-                node_segments[atom_idx].append(ids)
-        if not parent_segments:
-            output = Relation(query.variables, [], name=query.name)
-            return JoinRun(output=output, nodes_visited=visited)
-        parent = np.concatenate(parent_segments)
-        candidates = np.concatenate(code_segments)
-        visited += len(candidates)
-        binding_cols = [c[parent] for c in binding_cols]
-        binding_cols.append(candidates)
-        level_dicts.append(canon_dict)
-        for atom_idx in range(len(tables)):
-            if atom_idx in node_segments:
-                atom_node[atom_idx] = np.concatenate(node_segments[atom_idx])
-            elif last_level[atom_idx] > level:
-                atom_node[atom_idx] = atom_node[atom_idx][parent]
-        n_front = len(candidates)
+            seed_counts = np.min(counts_matrix, axis=0)
+        ends = np.cumsum(seed_counts)
+        total = int(ends[-1]) if n_front else 0
+        if total == 0:
+            return
+        flat_starts = ends - seed_counts
+        canon_dict = canon_of[level]
+        # node ids are only carried for atoms still constraining deeper
+        # levels; a participant whose last level is this one is done.
+        carried = [i for i, _ in participants if last_level[i] > level]
+        chunk = total if frontier_block is None else frontier_block
 
+        def expand_slice(lo, hi):
+            """One candidate slice: ``(width, sub_nodes, new_cols)`` or
+            ``None`` when every candidate dies.
+
+            A plain function, not inlined in the generator loop: its
+            frame (and with it every O(slice) scratch array) dies on
+            return, so nothing but the surviving sub-block stays alive
+            while deeper levels run under the suspended generator.
+            """
+            nonlocal visited
+            if lo == 0 and hi == total:
+                # whole-space slice: O(total) repeat beats searchsorted
+                parent_of = np.repeat(np.arange(n_front), seed_counts)
+                offsets = np.arange(total) - np.repeat(
+                    flat_starts, seed_counts
+                )
+            else:
+                flat = np.arange(lo, hi)
+                parent_of = np.searchsorted(ends, flat, side="right")
+                offsets = flat - flat_starts[parent_of]
+            m = hi - lo
+            candidates = np.empty(m, dtype=np.int64)
+            keep = np.ones(m, dtype=bool)
+            chunk_nodes = {i: np.empty(m, dtype=np.int64) for i in carried}
+            for s, (seed_idx, seed_depth) in enumerate(participants):
+                if seed_choice is None:
+                    sel = slice(None)
+                    sel_parents, sel_offsets = parent_of, offsets
+                else:
+                    sel = np.nonzero(seed_choice[parent_of] == s)[0]
+                    if len(sel) == 0:
+                        continue
+                    sel_parents, sel_offsets = parent_of[sel], offsets[sel]
+                first, _ = ranges[s]
+                children, codes = tries[seed_idx].children_at(
+                    seed_depth,
+                    atom_node[seed_idx][sel_parents],
+                    first[sel_parents],
+                    sel_offsets,
+                )
+                seed_dict = dict_of[seed_idx][seed_depth]
+                if seed_idx in chunk_nodes:
+                    chunk_nodes[seed_idx][sel] = children
+                keep_s = None
+                for atom_idx, depth in participants:
+                    if atom_idx == seed_idx:
+                        continue
+                    own_dict = dict_of[atom_idx][depth]
+                    if own_dict is seed_dict:
+                        aligned = codes
+                    else:
+                        aligned = remap_codes(codes, seed_dict, own_dict)
+                    found, others = tries[atom_idx].find_children(
+                        depth, atom_node[atom_idx][sel_parents], aligned
+                    )
+                    if aligned is not codes:
+                        found &= aligned >= 0
+                    if atom_idx in chunk_nodes:
+                        chunk_nodes[atom_idx][sel] = others
+                    keep_s = found if keep_s is None else keep_s & found
+                if seed_dict is not canon_dict:
+                    # survivors pass membership in the canonical
+                    # participant, whose dictionary therefore contains
+                    # them (lossless); non-survivors map to −1 but are
+                    # dropped by ``keep`` anyway.
+                    codes = remap_codes(codes, seed_dict, canon_dict)
+                candidates[sel] = codes
+                if keep_s is not None:
+                    keep[sel] = keep_s
+            if keep.all():
+                chosen = None
+                sub_parent, sub_cand = parent_of, candidates
+            else:
+                chosen = np.nonzero(keep)[0]
+                if len(chosen) == 0:
+                    return None
+                sub_parent, sub_cand = parent_of[chosen], candidates[chosen]
+            visited += len(sub_cand)
+            sub_nodes = []
+            for atom_idx in range(n_atoms):
+                if atom_idx in chunk_nodes:
+                    ids = chunk_nodes[atom_idx]
+                    sub_nodes.append(ids if chosen is None else ids[chosen])
+                elif (
+                    last_level[atom_idx] > level
+                    and atom_node[atom_idx] is not None
+                ):
+                    sub_nodes.append(atom_node[atom_idx][sub_parent])
+                else:
+                    sub_nodes.append(None)
+            new_cols = [c[sub_parent] for c in binding_cols]
+            new_cols.append(sub_cand)
+            return len(sub_cand), sub_nodes, new_cols
+
+        for lo in range(0, total, chunk):
+            hi = min(lo + chunk, total)
+            result = expand_slice(lo, hi)
+            if hi >= total:
+                # last slice: this level's range/frontier state is dead.
+                # Release it before descending, or the suspended frame
+                # would pin O(n_front) arrays for the rest of the subtree
+                # (the whole-frontier path would regress ~1.5× in peak).
+                del ranges, seed_choice, seed_counts, ends, flat_starts
+                del atom_node, binding_cols
+            if result is not None:
+                yield result
+
+    def descend(level, n_front, atom_node, binding_cols):
+        if level == n:
+            sink.append(binding_cols)
+            return
+        blocks = expand(level, n_front, atom_node, binding_cols)
+        del atom_node, binding_cols  # the generator owns them now
+        for width, sub_nodes, sub_cols in blocks:
+            descend(level + 1, width, sub_nodes, sub_cols)
+
+    descend(0, 1, [np.zeros(1, dtype=np.int64) for _ in tables], [])
+
+    if sink.n_rows == 0:
+        if n == 0:
+            # a query with no variables joins to the single empty binding
+            columnar = ColumnarRelation((), {}, {}, 1)
+            output = Relation._from_columnar(columnar, name=query.name)
+            return JoinRun(output=output, nodes_visited=visited)
+        output = Relation(query.variables, [], name=query.name)
+        return JoinRun(output=output, nodes_visited=visited)
+
+    columns = sink.finalize()
     columnar = ColumnarRelation(
         query.variables,
-        {v: binding_cols[order_index[v]] for v in query.variables},
-        {v: level_dicts[order_index[v]] for v in query.variables},
-        n_front,
+        {v: columns[order_index[v]] for v in query.variables},
+        {v: canon_of[order_index[v]] for v in query.variables},
+        sink.n_rows,
     )
     output = Relation._from_columnar(columnar, name=query.name)
     return JoinRun(output=output, nodes_visited=visited)
@@ -378,6 +502,9 @@ def count_query(
     query: ConjunctiveQuery,
     db: Database,
     order: Sequence[str] | None = None,
+    frontier_block: int | None = None,
 ) -> int:
     """True output cardinality |Q(D)| via the WCOJ evaluator."""
-    return generic_join(query, db, order=order).count
+    return generic_join(
+        query, db, order=order, frontier_block=frontier_block
+    ).count

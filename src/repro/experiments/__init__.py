@@ -15,6 +15,7 @@
 | E11 | Example 2.2 chains    | ``chain``             |
 | E12 | App. C.6 Loomis–Whitney | ``loomis_whitney``  |
 | E13 | Appendix B ([14])     | ``appendix_b``        |
+| E14 | blocked star frontier | ``star``              |
 """
 
 from . import (
@@ -30,6 +31,7 @@ from . import (
     norm_ablation,
     normal_vs_product,
     one_join,
+    star,
     triangle,
 )
 
@@ -47,4 +49,5 @@ __all__ = [
     "chain",
     "loomis_whitney",
     "appendix_b",
+    "star",
 ]

@@ -38,6 +38,7 @@ import numpy as np
 __all__ = [
     "ColumnarRelation",
     "CodeTrie",
+    "ChunkedColumns",
     "align_composite_keys",
     "encode_column",
     "encode_rows",
@@ -280,6 +281,56 @@ def align_composite_keys(
     return keys, kept
 
 
+class ChunkedColumns:
+    """Streaming accumulator for column-chunked results.
+
+    Producers that emit output in chunks (the blocked WCOJ frontier, the
+    Theorem 2.6 output union) append one equal-length array per column;
+    the chunks are held as-is and concatenated exactly once at
+    :meth:`finalize` — appending chunk ``k`` costs O(1), not O(rows so
+    far), so accumulating ``K`` chunks copies each row once instead of
+    the O(K) times repeated ``np.concatenate`` calls would.
+    """
+
+    __slots__ = ("_chunks", "_n_rows")
+
+    def __init__(self, n_columns: int) -> None:
+        self._chunks: list[list[np.ndarray]] = [[] for _ in range(n_columns)]
+        self._n_rows = 0
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks[0]) if self._chunks else 0
+
+    def append(self, columns: Sequence[np.ndarray]) -> None:
+        """Add one chunk (one array per column, equal lengths)."""
+        if len(columns) != len(self._chunks):
+            raise ValueError(
+                f"{len(columns)} columns for a {len(self._chunks)}-column "
+                "accumulator"
+            )
+        for store, column in zip(self._chunks, columns):
+            store.append(column)
+        if self._chunks:
+            self._n_rows += len(columns[0])
+
+    def finalize(self) -> list[np.ndarray]:
+        """One array per column: a single concatenation pass per column."""
+        out = []
+        for store in self._chunks:
+            if not store:
+                out.append(_EMPTY_CODES)
+            elif len(store) == 1:
+                out.append(store[0])
+            else:
+                out.append(np.concatenate(store))
+        return out
+
+
 class CodeTrie:
     """A sorted-codes trie over per-variable code columns.
 
@@ -388,6 +439,30 @@ class CodeTrie:
             - np.repeat(nodes, counts) * self.cards[depth]
         )
         return parent, positions, codes
+
+    def children_at(
+        self,
+        depth: int,
+        nodes: np.ndarray,
+        first: np.ndarray,
+        offsets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One chosen child per node: the ``offsets[i]``-th of node ``i``.
+
+        The restartable slice of :meth:`expand_children`: callers that
+        enumerate a batch's flattened child space in fixed-size blocks
+        compute, per block entry, its parent node and the offset inside
+        that parent's child range, and gather just those children — the
+        full ``Σ counts``-sized expansion is never materialized.
+        ``first`` is the per-entry gather of :meth:`children_ranges`'s
+        first-child positions; offsets must satisfy
+        ``0 ≤ offsets[i] < counts`` for the matching node.
+
+        Returns ``(child_node_ids, child_codes)``.
+        """
+        positions = first + offsets
+        codes = self.level_keys[depth][positions] - nodes * self.cards[depth]
+        return positions, codes
 
     def find_children(
         self, depth: int, nodes: np.ndarray, codes: np.ndarray

@@ -1,0 +1,126 @@
+"""The on-disk fixture cache must be transparent and byte-identical."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import imdb_database, snap_database
+from repro.datasets.cache import cache_directory, cached_database
+from repro.relational import Database, Relation
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    return tmp_path
+
+
+class TestCacheDirectory:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+        assert cache_directory() is None
+
+    def test_created_on_demand(self, tmp_path, monkeypatch):
+        target = tmp_path / "nested" / "cache"
+        monkeypatch.setenv("REPRO_DATASET_CACHE", str(target))
+        assert cache_directory() == target
+        assert target.is_dir()
+
+
+class TestCachedDatabase:
+    def test_build_called_once(self, cache_dir):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return Database({"R": Relation(("x", "y"), [(1, 2), (3, 4)])})
+
+        first = cached_database("unit", {"k": 1}, build)
+        second = cached_database("unit", {"k": 1}, build)
+        assert calls == [1]
+        assert list(first["R"]) == list(second["R"])
+
+    def test_distinct_params_distinct_entries(self, cache_dir):
+        a = cached_database(
+            "unit",
+            {"n": 2},
+            lambda: Database({"R": Relation(("x",), [(1,), (2,)])}),
+        )
+        b = cached_database(
+            "unit",
+            {"n": 3},
+            lambda: Database({"R": Relation(("x",), [(1,), (2,), (3,)])}),
+        )
+        assert len(a["R"]) == 2 and len(b["R"]) == 3
+        assert len(list(cache_dir.glob("unit-*.npz"))) == 2
+
+    def test_non_integer_values_bypass(self, cache_dir):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return Database({"R": Relation(("x",), [("a",), ("b",)])})
+
+        cached_database("unit", {"k": "s"}, build)
+        cached_database("unit", {"k": "s"}, build)
+        assert calls == [1, 1]  # regenerated, nothing cached
+        assert not list(cache_dir.glob("unit-*.npz"))
+
+    def test_corrupt_entry_regenerates(self, cache_dir):
+        build = lambda: Database({"R": Relation(("x",), [(7,)])})  # noqa: E731
+        cached_database("unit", {"k": 1}, build)
+        (entry,) = cache_dir.glob("unit-*.npz")
+        entry.write_bytes(b"not an npz archive")
+        db = cached_database("unit", {"k": 1}, build)
+        assert list(db["R"]) == [(7,)]
+
+    def test_truncated_zip_entry_regenerates(self, cache_dir):
+        # zip magic but a broken archive: np.load raises BadZipFile
+        build = lambda: Database({"R": Relation(("x",), [(8,)])})  # noqa: E731
+        cached_database("unit", {"k": 2}, build)
+        (entry,) = cache_dir.glob("unit-k=2-*.npz")
+        entry.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        db = cached_database("unit", {"k": 2}, build)
+        assert list(db["R"]) == [(8,)]
+
+    def test_entry_names_carry_source_fingerprint(self, cache_dir):
+        from repro.datasets.cache import _source_fingerprint
+
+        cached_database(
+            "unit",
+            {"k": 1},
+            lambda: Database({"R": Relation(("x",), [(1,)])}),
+        )
+        (entry,) = cache_dir.glob("unit-*.npz")
+        assert _source_fingerprint() in entry.name
+
+
+class TestRoundTripFidelity:
+    def test_snap_byte_identical(self, cache_dir):
+        fresh = snap_database("ca-GrQc")
+        cached_database_ = snap_database("ca-GrQc")  # writes the entry
+        hit = snap_database("ca-GrQc")  # reads it back
+        for db in (cached_database_, hit):
+            assert db["R"].attributes == fresh["R"].attributes
+            assert db["R"].name == fresh["R"].name
+            assert list(db["R"]) == list(fresh["R"])  # row order too
+
+    def test_imdb_byte_identical(self, cache_dir):
+        fresh = imdb_database(scale=0.05, seed=3)
+        snap = imdb_database(scale=0.05, seed=3)
+        hit = imdb_database(scale=0.05, seed=3)
+        assert sorted(hit.names()) == sorted(fresh.names())
+        for name in fresh:
+            assert hit[name].attributes == fresh[name].attributes
+            assert list(hit[name]) == list(fresh[name]), name
+            assert list(snap[name]) == list(fresh[name]), name
+
+    def test_columnar_twin_survives_round_trip(self, cache_dir):
+        snap_database("ca-GrQc")
+        hit = snap_database("ca-GrQc")
+        twin = hit["R"].columnar()
+        assert twin is not None
+        assert twin.n_rows == len(hit["R"])
+        assert np.array_equal(
+            twin.dictionary("x")[twin.codes("x")],
+            np.array([row[0] for row in hit["R"]]),
+        )

@@ -8,8 +8,12 @@ import pytest
 from repro.core.degree import degree_sequence
 from repro.datasets import (
     alpha_beta_relation,
+    clique_graph,
+    fan_out_relation,
     matching_relation,
     power_law_graph,
+    star_database,
+    star_query,
     zipf_values,
 )
 
@@ -124,3 +128,56 @@ class TestMatchingRelation:
     def test_custom_attributes(self):
         r = matching_relation(3, attributes=("u", "v"))
         assert r.attributes == ("u", "v")
+
+
+class TestFanOutRelation:
+    def test_complete_bipartite(self):
+        r = fan_out_relation(3, 4)
+        assert len(r) == 12
+        assert set(r) == {(h, v) for h in range(3) for v in range(4)}
+
+    def test_uniform_fan_out_degrees(self):
+        r = fan_out_relation(5, 7)
+        seq = degree_sequence(r, ["v"], ["h"])
+        assert list(seq) == [7] * 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fan_out_relation(0, 4)
+        with pytest.raises(ValueError):
+            fan_out_relation(4, 0)
+
+
+class TestCliqueGraph:
+    def test_all_ordered_pairs(self):
+        g = clique_graph(5)
+        assert set(g) == {(i, j) for i in range(5) for j in range(5) if i != j}
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            clique_graph(1)
+
+
+class TestStarWorkload:
+    def test_query_shape(self):
+        q = star_query(3)
+        assert q.variables == ("h", "x1", "x2", "x3", "z")
+        assert len(q.atoms) == 6
+
+    def test_database_relations(self):
+        db = star_database(fan_out=6, num_hubs=2, arms=2)
+        assert sorted(db.names()) == ["R1", "R2", "T1", "T2"]
+        assert len(db["R1"]) == 12  # 2 hubs × 6 leaves
+        assert set(db["T1"]) == {(v, v) for v in range(6)}
+
+    def test_output_is_hubs_times_fanout(self):
+        from repro.evaluation import count_query
+
+        db = star_database(fan_out=9, num_hubs=3, arms=2)
+        assert count_query(star_query(2), db) == 27
+
+    def test_rejects_zero_arms(self):
+        with pytest.raises(ValueError):
+            star_query(0)
+        with pytest.raises(ValueError):
+            star_database(4, arms=0)

@@ -27,8 +27,8 @@ class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "E1" in out and "E13" in out
-        assert len(EXPERIMENTS) == 13
+        assert "E1" in out and "E14" in out
+        assert len(EXPERIMENTS) == 14
 
     def test_experiment_by_id(self, capsys):
         assert main(["experiment", "E7"]) == 0
@@ -41,6 +41,20 @@ class TestCommands:
 
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "E99"]) == 2
+
+    def test_frontier_block_rejected_where_unsupported(self, capsys):
+        assert main(["experiment", "E7", "--frontier-block", "64"]) == 2
+        assert "--frontier-block" in capsys.readouterr().err
+
+    def test_frontier_block_rejects_non_positive(self, capsys):
+        assert main(["experiment", "E14", "--frontier-block", "0"]) == 2
+        assert "must be ≥ 1" in capsys.readouterr().err
+
+    def test_star_experiment_takes_frontier_block(self, capsys):
+        assert main(["experiment", "E14", "--frontier-block", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "E14" in out and "block=4096" in out
+        assert "NO" not in out  # every blocked run bit-identical
 
     def test_bound_over_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "edges.csv"
