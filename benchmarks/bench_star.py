@@ -1,14 +1,17 @@
-"""E14 — the blocked streaming frontier on the closed star join.
+"""E14 — blocked frontier and output sinks on the closed star join.
 
 Regenerates: the star-join sweep of ``repro.experiments.star`` at one
 fixed fan-out.  The closed star query's intermediate frontier is
 ``fan_out²`` partial bindings against a ``fan_out``-row output — the
 workload the breadth-first Generic Join cannot scale on.  Asserts the
-paper-level shape: the blocked engine returns bit-identical rows, row
-order, and meter while holding peak traced allocation at least an order
-of magnitude below the unblocked engine's (locally ~30× at this size).
+paper-level shape along both bounded axes: the blocked engine returns
+bit-identical rows, row order, and meter while holding peak traced
+allocation at least an order of magnitude below the unblocked engine's
+(locally ~30× at this size), and the counting/spilling sinks keep that
+edge while never materializing the output (the fan-out-1024 guard below
+requires ≥50× under ``CountSink``).
 
-Both engines' timings and peak traced allocations feed the CI
+All engines' timings and peak traced allocations feed the CI
 trajectory: ``peak_traced_kb`` lands in ``extra_info`` and
 ``benchmarks/trajectory.py`` guards the memory series exactly like the
 timing series.
@@ -16,12 +19,16 @@ timing series.
 
 from repro.datasets import star_database, star_query
 from repro.evaluation import generic_join
+from repro.relational import CountSink, SpillSink
 
 import pytest
 
 #: fan_out² = 262144 live bindings unblocked; the block caps that at 8192.
 FAN_OUT = 512
 FRONTIER_BLOCK = 8192
+
+#: The acceptance-scale instance for the count-sink memory guard.
+FAN_OUT_LARGE = 1024
 
 QUERY = star_query(2)
 
@@ -53,6 +60,48 @@ def test_bench_star_blocked(benchmark, traced_peak, star_db):
     assert run.count == FAN_OUT
 
 
+def test_bench_star_count_sink(benchmark, traced_peak, star_db):
+    """Blocked frontier + counting sink: no output rows held at all."""
+
+    def run_counted():
+        return generic_join(
+            QUERY, star_db, frontier_block=FRONTIER_BLOCK, sink=CountSink()
+        )
+
+    _, peak = traced_peak(run_counted)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
+    run = benchmark(run_counted)
+    assert run.count == FAN_OUT
+
+
+def test_bench_star_spill_sink(benchmark, traced_peak, star_db, tmp_path):
+    """Blocked frontier + spill sink: output rows live on disk only.
+
+    Each call gets a fresh sink (closing removes its segments, so the
+    directory is reusable across benchmark rounds); the verified
+    round-trip read happens once, outside the timed runs.
+    """
+
+    def run_spilled():
+        with SpillSink(tmp_path / "spill", chunk_rows=4096) as sink:
+            run = generic_join(
+                QUERY, star_db, frontier_block=FRONTIER_BLOCK, sink=sink
+            )
+            assert sink.n_rows == FAN_OUT
+        return run
+
+    _, peak = traced_peak(run_spilled)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
+    with SpillSink(tmp_path / "verify") as sink:
+        generic_join(
+            QUERY, star_db, frontier_block=FRONTIER_BLOCK, sink=sink
+        )
+        reference = generic_join(QUERY, star_db)
+        assert sink.rows() == list(reference.output)
+    run = benchmark(run_spilled)
+    assert run.count == FAN_OUT
+
+
 def test_star_memory_guard(traced_peak, star_db):
     """Acceptance guard (runs even in single-round CI smoke mode).
 
@@ -71,4 +120,24 @@ def test_star_memory_guard(traced_peak, star_db):
         f"blocked frontier lost its memory edge: unblocked "
         f"{peak_unblocked / 1e6:.1f} MB vs blocked "
         f"{peak_blocked / 1e6:.1f} MB"
+    )
+
+
+def test_star_count_sink_memory_guard(traced_peak):
+    """Acceptance guard: fan-out 1024 under ``CountSink`` needs ≥50×
+    less peak traced allocation than the materialized evaluation, with
+    a bit-identical count and meter."""
+    db = star_database(FAN_OUT_LARGE)
+    generic_join(QUERY, db, frontier_block=FRONTIER_BLOCK)  # warm tries
+    materialized, peak_materialized = traced_peak(generic_join, QUERY, db)
+    sink = CountSink()
+    counted, peak_counted = traced_peak(
+        generic_join, QUERY, db, frontier_block=FRONTIER_BLOCK, sink=sink
+    )
+    assert sink.total == materialized.count == FAN_OUT_LARGE
+    assert counted.nodes_visited == materialized.nodes_visited
+    assert peak_materialized >= 50 * peak_counted, (
+        f"count sink lost its memory edge: materialized "
+        f"{peak_materialized / 1e6:.1f} MB vs counted "
+        f"{peak_counted / 1e6:.1f} MB"
     )

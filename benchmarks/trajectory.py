@@ -57,8 +57,13 @@ TOLERANCES = {
 #: Per-benchmark peak-memory tolerance overrides (ratio of peak_kb).
 #: Traced peaks are deterministic, so the default 1.5× is already slack;
 #: overrides belong here only for benchmarks whose working set depends on
-#: allocator rounding at small absolute sizes.
-MEM_TOLERANCES: dict[str, float] = {}
+#: allocator rounding at small absolute sizes.  The sink benchmarks peak
+#: around 1 MB (pure block × depth scratch), where a few extra temporary
+#: arrays move the ratio more than a real regression would elsewhere.
+MEM_TOLERANCES: dict[str, float] = {
+    "benchmarks/bench_star.py::test_bench_star_count_sink": 2.0,
+    "benchmarks/bench_star.py::test_bench_star_spill_sink": 2.0,
+}
 
 
 def normalize(raw_path: str, sha: str) -> dict:

@@ -133,6 +133,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import inspect
 
     module = importlib.import_module(f"repro.experiments.{module_name}")
+    params = inspect.signature(module.main).parameters
     kwargs = {}
     if args.frontier_block is not None:
         if args.frontier_block < 1:
@@ -142,13 +143,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
             return 2
         # only the drivers that evaluate queries expose the knob
-        if "frontier_block" not in inspect.signature(module.main).parameters:
+        if "frontier_block" not in params:
             print(
                 f"experiment {key} does not take --frontier-block",
                 file=sys.stderr,
             )
             return 2
         kwargs["frontier_block"] = args.frontier_block
+    if args.spill_dir is not None and args.sink != "spill":
+        print("--spill-dir requires --sink spill", file=sys.stderr)
+        return 2
+    if args.sink is not None:
+        if "sink" not in params:
+            print(
+                f"experiment {key} does not take --sink", file=sys.stderr
+            )
+            return 2
+        kwargs["sink"] = args.sink
+        if args.spill_dir is not None:
+            if "spill_dir" not in params:
+                print(
+                    f"experiment {key} does not take --spill-dir",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["spill_dir"] = args.spill_dir
     print(module.main(**kwargs))
     return 0
 
@@ -205,6 +224,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the WCOJ's live frontier at N candidate bindings per "
         "level (experiments that evaluate queries, e.g. E14); results "
         "are bit-identical to the unblocked run",
+    )
+    experiment.add_argument(
+        "--sink",
+        choices=("materialize", "count", "spill"),
+        default=None,
+        help="route the evaluators' output through one sink mode "
+        "(experiments that evaluate queries, e.g. E14): materialize "
+        "the rows, count them in O(1) memory, or spill them to disk "
+        "segments; counts, row order, and meters are bit-identical "
+        "across sinks",
+    )
+    experiment.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for --sink spill segment files (default: a "
+        "temporary directory); concurrent runs must use distinct "
+        "directories",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from ..core.conditionals import ConcreteStatistic
 from ..core.lp_bound import BoundResult
 from ..query.query import Atom, ConjunctiveQuery
-from ..relational import Database, Relation
+from ..relational import Database, OutputSink, Relation
 from ..relational.columnar import ChunkedColumns
 from .panda_algorithm import evaluate_part, theorem26_log2_budget
 from .partitioning import partition_for_statistic
@@ -35,16 +35,27 @@ __all__ = ["PartitionedRun", "evaluate_with_partitioning"]
 
 @dataclass
 class PartitionedRun:
-    """Metered outcome of the Theorem 2.6 evaluation."""
+    """Metered outcome of the Theorem 2.6 evaluation.
 
-    output: Relation
+    ``output`` is the deduplicated union relation on the default
+    materializing path, and ``None`` when the run streamed into an
+    explicit :class:`~repro.relational.columnar.OutputSink` (held in
+    ``sink``).
+    """
+
+    output: Relation | None
     parts_evaluated: int
     nodes_visited: int
     log2_budget: float
+    sink: OutputSink | None = None
 
     @property
     def count(self) -> int:
-        return len(self.output)
+        if self.output is not None:
+            return len(self.output)
+        if self.sink is not None:
+            return self.sink.n_rows
+        return 0
 
     def within_budget(self, polylog_slack: float = 64.0) -> bool:
         """Whether metered work ≤ 2^budget · polylog slack factor."""
@@ -102,6 +113,7 @@ def evaluate_with_partitioning(
     max_parts: int = 4096,
     weight_tol: float = 1e-7,
     frontier_block: int | None = None,
+    sink: OutputSink | None = None,
 ) -> PartitionedRun:
     """Run the Theorem 2.6 algorithm driven by an LP bound certificate.
 
@@ -113,6 +125,15 @@ def evaluate_with_partitioning(
     ``frontier_block`` bounds each per-part WCOJ's live frontier (see
     :func:`repro.evaluation.wcoj.generic_join`); output, meters, and
     part accounting are identical for every setting.
+
+    An explicit ``sink`` absorbs every part combination's output
+    directly, in combination order, and ``PartitionedRun.output`` is
+    ``None``: counts add across parts and spill segments concatenate
+    lazily with no union pass.  This is exact because each Lemma 2.5
+    part list is a row partition of its atom's relation, so every output
+    binding — which pins, per atom, the single row it uses — survives in
+    exactly one combination: the union the materializing path
+    deduplicates is already disjoint.
 
     Raises ``ValueError`` if the combination count would exceed
     ``max_parts`` — the part count is exponential in Σ p_i (that is the
@@ -159,6 +180,11 @@ def evaluate_with_partitioning(
             f"{combo_count} part combinations exceed max_parts={max_parts}"
         )
 
+    if sink is not None:
+        # the rewritten query's variables are the original's (same atoms,
+        # first-appearance order), so the sink sees the same schema the
+        # materializing union would produce.
+        sink.open(rewritten.variables)
     outputs: list[Relation] = []
     nodes_total = 0
     parts_evaluated = 0
@@ -167,15 +193,20 @@ def evaluate_with_partitioning(
         for atom, part in zip(rewritten_atoms, combo):
             relations[atom.relation] = part
         run = evaluate_part(
-            rewritten, Database(relations), frontier_block=frontier_block
+            rewritten,
+            Database(relations),
+            frontier_block=frontier_block,
+            sink=sink,
         )
         parts_evaluated += 1
         nodes_total += run.nodes_visited
-        outputs.append(run.output)
-    output = _union_outputs(query, outputs)
+        if sink is None:
+            outputs.append(run.output)
+    output = _union_outputs(query, outputs) if sink is None else None
     return PartitionedRun(
         output=output,
         parts_evaluated=parts_evaluated,
         nodes_visited=nodes_total,
         log2_budget=theorem26_log2_budget(bound, weight_tol),
+        sink=sink,
     )

@@ -19,7 +19,7 @@ import math
 
 from ..core.lp_bound import BoundResult
 from ..query.query import ConjunctiveQuery
-from ..relational import Database
+from ..relational import Database, OutputSink
 from .wcoj import JoinRun, generic_join
 
 __all__ = ["evaluate_part", "theorem26_log2_budget"]
@@ -29,14 +29,18 @@ def evaluate_part(
     query: ConjunctiveQuery,
     db_part: Database,
     frontier_block: int | None = None,
+    sink: OutputSink | None = None,
 ) -> JoinRun:
     """Evaluate the query on one strongly-satisfying database part.
 
-    ``frontier_block`` caps the WCOJ's live frontier (see
-    :func:`repro.evaluation.wcoj.generic_join`); the output and meter are
-    identical for every setting.
+    ``frontier_block`` caps the WCOJ's live frontier and ``sink`` routes
+    the part's output rows (see
+    :func:`repro.evaluation.wcoj.generic_join`); output rows, their
+    order, and the meter are identical for every setting.
     """
-    return generic_join(query, db_part, frontier_block=frontier_block)
+    return generic_join(
+        query, db_part, frontier_block=frontier_block, sink=sink
+    )
 
 
 def theorem26_log2_budget(result: BoundResult, tol: float = 1e-9) -> float:

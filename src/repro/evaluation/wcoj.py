@@ -33,6 +33,16 @@ live memory beyond the output drops to O(block × depth).  Blocks are
 slices of one fixed parent-major candidate order, so output rows, their
 order, and the meter are bit-identical for every block size.
 
+The *output* side is pluggable too: both engines emit finished bindings
+into an :class:`~repro.relational.columnar.OutputSink` — counting
+(:class:`~repro.relational.columnar.CountSink`), aggregating
+(:class:`~repro.relational.columnar.GroupCountSink`), or spilling to
+disk (:class:`~repro.relational.columnar.SpillSink`) — so workloads
+whose outputs are themselves huge never hold |Q(D)| rows in RAM.  The
+default (``sink=None``) materializes through the internal code-space
+accumulator exactly as before; every sink sees the same rows in the
+same order with the same meter.
+
 :func:`generic_join` dispatches to the vectorized engine whenever every
 atom's relation dictionary-encodes, falling back otherwise.  Both engines
 enumerate exactly the set of bindings that pass every participating
@@ -55,23 +65,39 @@ from ..relational.columnar import (
     ChunkedColumns,
     CodeTrie,
     ColumnarRelation,
+    CountSink,
+    OutputSink,
     remap_codes,
 )
 from .joins import _atom_table
 
 __all__ = ["generic_join", "generic_join_tuples", "count_query", "JoinRun"]
 
+#: Finished bindings per batch the tuple fallback hands to a sink.
+_TUPLE_SINK_BATCH = 1024
+
 
 @dataclass
 class JoinRun:
-    """Result of a metered WCOJ run."""
+    """Result of a metered WCOJ run.
 
-    output: Relation
+    ``output`` is the materialized relation when the run used the default
+    materializing path, and ``None`` when the rows were routed into an
+    explicit :class:`~repro.relational.columnar.OutputSink` (held in
+    ``sink``; its accessors expose the result).
+    """
+
+    output: Relation | None
     nodes_visited: int
+    sink: OutputSink | None = None
 
     @property
     def count(self) -> int:
-        return len(self.output)
+        if self.output is not None:
+            return len(self.output)
+        if self.sink is not None:
+            return self.sink.n_rows
+        return 0
 
 
 class _Satisfied(dict):
@@ -141,6 +167,7 @@ def generic_join(
     db: Database,
     order: Sequence[str] | None = None,
     frontier_block: int | None = None,
+    sink: OutputSink | None = None,
 ) -> JoinRun:
     """Evaluate a full conjunctive query worst-case optimally.
 
@@ -156,6 +183,14 @@ def generic_join(
         O(block × depth) live memory — output rows, their order, and the
         meter are bit-identical for every setting.  The tuple fallback is
         one-binding-at-a-time and ignores the parameter.
+    sink:
+        Where finished bindings go.  ``None`` (default) materializes the
+        output relation; an explicit
+        :class:`~repro.relational.columnar.OutputSink` receives the same
+        rows in the same order as decoded value-column batches (the
+        tuple fallback emits row batches) and ``JoinRun.output`` is
+        ``None`` — counts, row order, and the meter are bit-identical to
+        the materialized run for every sink and block size.
 
     Returns
     -------
@@ -168,21 +203,26 @@ def generic_join(
     if frontier_block is not None and frontier_block < 1:
         raise ValueError(f"frontier_block must be ≥ 1, got {frontier_block}")
     order = _resolve_order(query, order)
-    run = _generic_join_columnar(query, db, order, frontier_block)
+    if sink is not None:
+        sink.open(query.variables)
+    run = _generic_join_columnar(query, db, order, frontier_block, sink)
     if run is not None:
         return run
-    return generic_join_tuples(query, db, order)
+    return generic_join_tuples(query, db, order, sink=sink)
 
 
 def generic_join_tuples(
     query: ConjunctiveQuery,
     db: Database,
     order: Sequence[str] | None = None,
+    sink: OutputSink | None = None,
 ) -> JoinRun:
     """The tuple-at-a-time Generic Join over nested-dict tries.
 
     The original evaluator, kept as the correctness (and meter) oracle
-    and as the fallback for relations holding non-integer values.
+    and as the fallback for relations holding non-integer values.  With
+    an explicit ``sink``, finished bindings stream out in batches of
+    :data:`_TUPLE_SINK_BATCH` rows instead of being collected.
     """
     order = _resolve_order(query, order)
     order_index = {v: i for i, v in enumerate(order)}
@@ -195,13 +235,29 @@ def generic_join_tuples(
     n = len(order)
     binding: list = [None] * n
     results: list[tuple] = []
+    out_positions = [order.index(v) for v in query.variables]
+    buffer: list[tuple] = []
+    if sink is not None:
+        sink.open(query.variables)
     nodes: list[dict] = [trie for _, trie in tries]
     visited = 0
+
+    def emit() -> None:
+        if sink is None:
+            results.append(tuple(binding))
+            return
+        if not sink.needs_values:
+            sink.append_size(1)
+            return
+        buffer.append(tuple(binding[i] for i in out_positions))
+        if len(buffer) >= _TUPLE_SINK_BATCH:
+            sink.append_rows(buffer)
+            buffer.clear()
 
     def descend(level: int) -> None:
         nonlocal visited
         if level == n:
-            results.append(tuple(binding))
+            emit()
             return
         participants = atoms_at[level]
         if not participants:
@@ -227,7 +283,10 @@ def generic_join_tuples(
         binding[level] = None
 
     descend(0)
-    out_positions = [order.index(v) for v in query.variables]
+    if sink is not None:
+        if buffer:
+            sink.append_rows(buffer)
+        return JoinRun(output=None, nodes_visited=visited, sink=sink)
     output = Relation(
         query.variables,
         (tuple(row[i] for i in out_positions) for row in results),
@@ -241,6 +300,7 @@ def _generic_join_columnar(
     db: Database,
     order: tuple[str, ...],
     frontier_block: int | None = None,
+    sink: OutputSink | None = None,
 ) -> JoinRun | None:
     """The blocked sorted-codes engine; ``None`` means fall back.
 
@@ -324,7 +384,31 @@ def _generic_join_columnar(
         else:
             canon_of.append(None)
 
-    sink = ChunkedColumns(n)
+    if sink is None:
+        acc = ChunkedColumns(n)
+        emit = acc.append
+    elif not sink.needs_values:
+
+        def emit(binding_cols):
+            sink.append_size(len(binding_cols[0]) if binding_cols else 1)
+
+    else:
+        # decode each finished batch into value columns (query head
+        # order) before handing it to the sink: one O(batch) gather per
+        # column, so count/spill runs never hold codes or values beyond
+        # the batch.  A level's canonical dictionary exists whenever a
+        # row was emitted (an uncovered level raises before emitting).
+        out_levels = [order_index[v] for v in query.variables]
+
+        def emit(binding_cols):
+            if binding_cols:
+                sink.append(
+                    [canon_of[i][binding_cols[i]] for i in out_levels]
+                )
+            else:
+                # a zero-variable query joins to the single empty binding
+                sink.append_rows([()])
+
     visited = 0
 
     def expand(level, n_front, atom_node, binding_cols):
@@ -469,7 +553,7 @@ def _generic_join_columnar(
 
     def descend(level, n_front, atom_node, binding_cols):
         if level == n:
-            sink.append(binding_cols)
+            emit(binding_cols)
             return
         blocks = expand(level, n_front, atom_node, binding_cols)
         del atom_node, binding_cols  # the generator owns them now
@@ -478,7 +562,10 @@ def _generic_join_columnar(
 
     descend(0, 1, [np.zeros(1, dtype=np.int64) for _ in tables], [])
 
-    if sink.n_rows == 0:
+    if sink is not None:
+        return JoinRun(output=None, nodes_visited=visited, sink=sink)
+
+    if acc.n_rows == 0:
         if n == 0:
             # a query with no variables joins to the single empty binding
             columnar = ColumnarRelation((), {}, {}, 1)
@@ -487,12 +574,12 @@ def _generic_join_columnar(
         output = Relation(query.variables, [], name=query.name)
         return JoinRun(output=output, nodes_visited=visited)
 
-    columns = sink.finalize()
+    columns = acc.finalize()
     columnar = ColumnarRelation(
         query.variables,
         {v: columns[order_index[v]] for v in query.variables},
         {v: canon_of[order_index[v]] for v in query.variables},
-        sink.n_rows,
+        acc.n_rows,
     )
     output = Relation._from_columnar(columnar, name=query.name)
     return JoinRun(output=output, nodes_visited=visited)
@@ -504,7 +591,13 @@ def count_query(
     order: Sequence[str] | None = None,
     frontier_block: int | None = None,
 ) -> int:
-    """True output cardinality |Q(D)| via the WCOJ evaluator."""
+    """True output cardinality |Q(D)| via the WCOJ evaluator.
+
+    Runs through a :class:`~repro.relational.columnar.CountSink`, so the
+    output is counted without ever being materialized — combined with a
+    ``frontier_block`` the whole run is bounded-memory.
+    """
     return generic_join(
-        query, db, order=order, frontier_block=frontier_block
+        query, db, order=order, frontier_block=frontier_block,
+        sink=CountSink(),
     ).count

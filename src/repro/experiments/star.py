@@ -1,30 +1,42 @@
-"""Experiment E14 — the blocked streaming frontier on star joins.
+"""Experiment E14 — blocked frontier and output sinks on star joins.
 
 The worst case for a breadth-first Generic Join is a query whose
 intermediate frontier dwarfs both input and output: the closed star
 workload (:func:`repro.datasets.star_query` /
 :func:`repro.datasets.star_database`) peaks at ``hubs · fan_out²`` live
 partial bindings on the way to a ``hubs · fan_out``-row output.  This
-driver meters exactly that: for each fan-out it evaluates the query with
-the unblocked frontier and with a fixed ``frontier_block``, records peak
-traced allocations (``tracemalloc``, which sees NumPy buffers) and wall
-time, and cross-checks that output rows, row order, and the
-``nodes_visited`` meter are bit-identical — the blocked engine is the
-same search, sliced.
+driver meters exactly that, across both axes the engine can bound:
+
+* the *frontier* — unblocked vs a fixed ``frontier_block``;
+* the *output* — materialized vs a counting sink
+  (:class:`~repro.relational.columnar.CountSink`) vs a spill-to-disk
+  sink (:class:`~repro.relational.columnar.SpillSink`).
+
+For each fan-out it runs the unblocked materialized reference, then the
+blocked engine once per requested sink, recording peak traced
+allocations (``tracemalloc``, which sees NumPy buffers) and wall time,
+and cross-checks that counts, output rows (where the sink keeps them),
+row order, and the ``nodes_visited`` meter are bit-identical — every
+configuration is the same search, sliced and re-routed.
 
 Shape to observe: unblocked peak memory grows quadratically with the
-fan-out while the blocked peak stays flat at O(block × depth), without
-giving up worst-case optimality (the meter is unchanged).
+fan-out while every blocked configuration stays flat at
+O(block × depth) (+ O(output) when materializing, O(chunk) when
+spilling, O(1) when counting), without giving up worst-case optimality
+(the meter is unchanged).
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 import tracemalloc
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..datasets.generators import star_database, star_query
 from ..evaluation import generic_join
+from ..relational import CountSink, SpillSink
 from .harness import format_table
 
 __all__ = ["StarRow", "run_star_experiment", "main"]
@@ -35,13 +47,17 @@ DEFAULT_FAN_OUTS = (128, 256, 512)
 #: Default block budget: a few hundred KB of live int64 columns.
 DEFAULT_FRONTIER_BLOCK = 8192
 
+#: Sink modes the sweep reports, in report order.
+SINK_MODES = ("materialize", "count", "spill")
+
 
 @dataclass
 class StarRow:
-    """One (fan-out, engine) cell of the star sweep."""
+    """One (fan-out, engine, sink) cell of the star sweep."""
 
     fan_out: int
     frontier_block: int | None
+    sink: str
     output_count: int
     nodes_visited: int
     peak_mb: float
@@ -55,18 +71,19 @@ class StarRow:
         return f"block={self.frontier_block}"
 
 
-def _metered_run(query, db, frontier_block):
+def _metered(fn):
+    """Run ``fn`` under tracemalloc: ``(result, peak_mb, seconds)``."""
     tracemalloc.start()
     try:
         started = time.perf_counter()
-        run = generic_join(query, db, frontier_block=frontier_block)
+        result = fn()
         elapsed = time.perf_counter() - started
         _, peak = tracemalloc.get_traced_memory()
     finally:
         # a raising run must not leave tracing on: the next start()
         # would accumulate peaks across runs and corrupt the comparison
         tracemalloc.stop()
-    return run, peak / 1e6, elapsed
+    return result, peak / 1e6, elapsed
 
 
 def run_star_experiment(
@@ -74,18 +91,41 @@ def run_star_experiment(
     arms: int = 2,
     num_hubs: int = 1,
     frontier_block: int = DEFAULT_FRONTIER_BLOCK,
+    sinks: tuple[str, ...] = SINK_MODES,
+    spill_dir: str | None = None,
+    include_unblocked: bool = True,
 ) -> list[StarRow]:
-    """Run E14: unblocked vs blocked rows, grouped per fan-out."""
+    """Run E14: a materialized reference plus one blocked row per sink.
+
+    ``spill_dir`` roots the spill segments (one subdirectory per
+    fan-out, removed after verification); by default they go to a
+    temporary directory.  ``include_unblocked=False`` verifies against
+    a *blocked* materialized run instead of the breadth-first engine —
+    the escape hatch for fan-outs whose unblocked frontier (or whose
+    output, with count/spill sinks) no longer fits in RAM; the
+    reference rows themselves are only materialized when a requested
+    sink compares rows rather than counts.
+    """
+    unknown = [s for s in sinks if s not in SINK_MODES]
+    if unknown:
+        raise ValueError(f"unknown sink modes {unknown}; pick from {SINK_MODES}")
     query = star_query(arms)
+    # count-only sweeps never need the reference rows in a Python list
+    needs_rows = any(mode in ("materialize", "spill") for mode in sinks)
     rows: list[StarRow] = []
     for fan_out in fan_outs:
         db = star_database(fan_out, num_hubs=num_hubs, arms=arms)
-        generic_join(query, db)  # warm the per-relation trie caches
-        reference, ref_peak, ref_time = _metered_run(query, db, None)
+        generic_join(query, db, frontier_block=frontier_block)  # warm tries
+        reference_block = None if include_unblocked else frontier_block
+        reference, ref_peak, ref_time = _metered(
+            lambda: generic_join(query, db, frontier_block=reference_block)
+        )
+        reference_rows = list(reference.output) if needs_rows else None
         rows.append(
             StarRow(
                 fan_out=fan_out,
-                frontier_block=None,
+                frontier_block=reference_block,
+                sink="materialize",
                 output_count=reference.count,
                 nodes_visited=reference.nodes_visited,
                 peak_mb=ref_peak,
@@ -93,35 +133,90 @@ def run_star_experiment(
                 matches_unblocked=True,
             )
         )
-        blocked, blk_peak, blk_time = _metered_run(
-            query, db, frontier_block
-        )
-        rows.append(
-            StarRow(
-                fan_out=fan_out,
-                frontier_block=frontier_block,
-                output_count=blocked.count,
-                nodes_visited=blocked.nodes_visited,
-                peak_mb=blk_peak,
-                seconds=blk_time,
-                matches_unblocked=(
-                    list(blocked.output) == list(reference.output)
-                    and blocked.nodes_visited == reference.nodes_visited
-                ),
+        for mode in sinks:
+            if mode == "materialize":
+                run, peak, secs = _metered(
+                    lambda: generic_join(
+                        query, db, frontier_block=frontier_block
+                    )
+                )
+                matches = (
+                    list(run.output) == reference_rows
+                    and run.nodes_visited == reference.nodes_visited
+                )
+                count = run.count
+            elif mode == "count":
+                sink = CountSink()
+                run, peak, secs = _metered(
+                    lambda: generic_join(
+                        query, db, frontier_block=frontier_block, sink=sink
+                    )
+                )
+                count = sink.total
+                matches = (
+                    count == reference.count
+                    and run.nodes_visited == reference.nodes_visited
+                )
+            else:  # spill
+                if spill_dir is not None:
+                    target = Path(spill_dir) / f"fanout-{fan_out}"
+                    context = None
+                else:
+                    context = tempfile.TemporaryDirectory()
+                    target = Path(context.name) / "spill"
+                try:
+                    with SpillSink(target) as sink:
+                        run, peak, secs = _metered(
+                            lambda: generic_join(
+                                query,
+                                db,
+                                frontier_block=frontier_block,
+                                sink=sink,
+                            )
+                        )
+                        count = sink.n_rows
+                        matches = (
+                            sink.rows() == reference_rows
+                            and run.nodes_visited == reference.nodes_visited
+                        )
+                finally:
+                    if context is not None:
+                        context.cleanup()
+            rows.append(
+                StarRow(
+                    fan_out=fan_out,
+                    frontier_block=frontier_block,
+                    sink=mode,
+                    output_count=count,
+                    nodes_visited=run.nodes_visited,
+                    peak_mb=peak,
+                    seconds=secs,
+                    matches_unblocked=matches,
+                )
             )
-        )
     return rows
 
 
-def main(frontier_block: int = DEFAULT_FRONTIER_BLOCK) -> str:
-    """Render the E14 table."""
-    rows = run_star_experiment(frontier_block=frontier_block)
+def main(
+    frontier_block: int = DEFAULT_FRONTIER_BLOCK,
+    sink: str | None = None,
+    spill_dir: str | None = None,
+) -> str:
+    """Render the E14 table (all sink modes, or just the requested one)."""
+    sinks = SINK_MODES if sink is None else (sink,)
+    rows = run_star_experiment(
+        frontier_block=frontier_block, sinks=sinks, spill_dir=spill_dir
+    )
     table = format_table(
-        ["fan-out", "engine", "|Q|", "nodes", "peak MB", "ms", "identical"],
+        [
+            "fan-out", "engine", "sink", "|Q|", "nodes", "peak MB", "ms",
+            "identical",
+        ],
         [
             (
                 r.fan_out,
                 r.label,
+                r.sink,
                 r.output_count,
                 r.nodes_visited,
                 f"{r.peak_mb:.2f}",
@@ -132,8 +227,8 @@ def main(frontier_block: int = DEFAULT_FRONTIER_BLOCK) -> str:
         ],
     )
     return (
-        "E14: closed star join — blocked vs unblocked frontier "
-        "(identical = same rows, order, and meter)\n" + table
+        "E14: closed star join — blocked frontier × output sinks "
+        "(identical = same count/rows, order, and meter)\n" + table
     )
 
 

@@ -5,8 +5,24 @@ engine in :mod:`repro.relational.columnar`; relations over arbitrary
 hashable values transparently use the original tuple paths.
 """
 
-from .columnar import ColumnarRelation
+from .columnar import (
+    ColumnarRelation,
+    CountSink,
+    GroupCountSink,
+    MaterializeSink,
+    OutputSink,
+    SpillSink,
+)
 from .database import Database
 from .relation import Relation
 
-__all__ = ["Relation", "Database", "ColumnarRelation"]
+__all__ = [
+    "Relation",
+    "Database",
+    "ColumnarRelation",
+    "OutputSink",
+    "MaterializeSink",
+    "CountSink",
+    "GroupCountSink",
+    "SpillSink",
+]

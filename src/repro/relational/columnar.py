@@ -31,7 +31,10 @@ property-based equivalence suite.
 
 from __future__ import annotations
 
-from typing import Sequence
+import operator
+import os
+from collections import Counter
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -39,6 +42,11 @@ __all__ = [
     "ColumnarRelation",
     "CodeTrie",
     "ChunkedColumns",
+    "OutputSink",
+    "MaterializeSink",
+    "CountSink",
+    "GroupCountSink",
+    "SpillSink",
     "align_composite_keys",
     "encode_column",
     "encode_rows",
@@ -329,6 +337,347 @@ class ChunkedColumns:
             else:
                 out.append(np.concatenate(store))
         return out
+
+
+def _columns_from_rows(rows: Sequence[tuple], arity: int) -> list[np.ndarray]:
+    """Row-major tuples → one array per column, without value corruption.
+
+    Plain-int columns become ``int64`` arrays (matching the columnar
+    engine's decoded emissions bit for bit); anything else is kept as an
+    ``object`` array — ``np.asarray`` would silently stringify mixed
+    columns like ``[1, "a"]``, which must round-trip unchanged through
+    aggregating and spilling sinks.
+    """
+    columns: list[np.ndarray] = []
+    for i in range(arity):
+        values = [row[i] for row in rows]
+        if all(type(v) is int for v in values):
+            try:
+                columns.append(np.array(values, dtype=np.int64))
+                continue
+            except OverflowError:
+                pass
+        column = np.empty(len(values), dtype=object)
+        column[:] = values
+        columns.append(column)
+    return columns
+
+
+class OutputSink:
+    """Streaming consumer of a join's finished output rows.
+
+    The evaluators (:func:`repro.evaluation.wcoj.generic_join` and the
+    Theorem 2.6 pipeline) emit output in batches instead of holding
+    |Q(D)| rows in RAM; a sink decides what happens to each batch —
+    materialize, count, aggregate, or spill to disk.  Lifecycle:
+
+    1. ``open(variables)`` — once per output schema.  Re-opening with the
+       *same* variables is a no-op, so one sink can absorb every part of
+       a partitioned evaluation (part outputs are disjoint, see
+       :func:`repro.evaluation.lp_join.evaluate_with_partitioning`).
+    2. ``append(columns)`` / ``append_rows(rows)`` — zero or more times,
+       in output order.  ``columns`` is one equal-length array per
+       variable, in ``variables`` order (the columnar engine emits
+       decoded ``int64`` value columns); ``append_rows`` is the
+       row-major convenience the tuple fallback uses.
+    3. Results come from sink-specific accessors (``total``,
+       ``counts()``, ``relation()``, ``iter_chunks()``); nothing is
+       buffered past what the accessor semantics require.
+
+    Subclasses implement :meth:`_consume_columns` (and may override
+    :meth:`_consume_rows` when a columnar detour would lose fidelity).
+    A sink that only consumes batch *sizes* sets :attr:`needs_values`
+    to ``False``; producers may then call :meth:`append_size` instead
+    of decoding value columns the sink would discard.
+    """
+
+    #: Whether this sink reads row values (``False`` ⇒ sizes suffice).
+    needs_values = True
+
+    def __init__(self) -> None:
+        self._variables: tuple[str, ...] | None = None
+        self._n_rows = 0
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        if self._variables is None:
+            raise RuntimeError("sink has not been opened")
+        return self._variables
+
+    @property
+    def n_rows(self) -> int:
+        """Rows consumed so far (an exact Python int, never an int64)."""
+        return self._n_rows
+
+    def open(self, variables: Sequence[str]) -> None:
+        """Fix the output schema; idempotent for an identical schema."""
+        variables = tuple(variables)
+        if self._variables is None:
+            self._variables = variables
+            self._opened(variables)
+        elif self._variables != variables:
+            raise ValueError(
+                f"sink already open for {self._variables}, got {variables}"
+            )
+
+    def _opened(self, variables: tuple[str, ...]) -> None:
+        """Subclass hook run once on the first :meth:`open`."""
+
+    def append(self, columns: Sequence[np.ndarray]) -> None:
+        """Consume one batch of value columns (``variables`` order)."""
+        if self._variables is None:
+            raise RuntimeError("sink has not been opened")
+        if len(columns) != len(self._variables):
+            raise ValueError(
+                f"{len(columns)} columns for {len(self._variables)} variables"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"ragged batch: column lengths {sorted(lengths)}"
+            )
+        n = lengths.pop() if lengths else 0
+        if n:
+            self._consume_columns(list(columns), n)
+            self._n_rows += n
+
+    def append_size(self, n: int) -> None:
+        """Count ``n`` finished rows without their values.
+
+        Only sinks with ``needs_values = False`` accept this — it is the
+        producers' fast path for counting-style sinks, skipping the
+        decode of value columns the sink would discard.
+        """
+        if self.needs_values:
+            raise TypeError(
+                f"{type(self).__name__} consumes row values; use append()"
+            )
+        if self._variables is None:
+            raise RuntimeError("sink has not been opened")
+        if n < 0:
+            raise ValueError(f"negative batch size {n}")
+        self._n_rows += int(n)
+
+    def append_rows(self, rows: Sequence[tuple]) -> None:
+        """Consume one batch of row tuples (``variables`` order)."""
+        if self._variables is None:
+            raise RuntimeError("sink has not been opened")
+        rows = list(rows)
+        if rows:
+            self._consume_rows(rows, len(rows))
+            self._n_rows += len(rows)
+
+    def _consume_columns(self, columns: list[np.ndarray], n: int) -> None:
+        raise NotImplementedError
+
+    def _consume_rows(self, rows: list[tuple], n: int) -> None:
+        self._consume_columns(
+            _columns_from_rows(rows, len(self._variables)), n
+        )
+
+
+class MaterializeSink(OutputSink):
+    """Today's behaviour as a sink: accumulate, then build a Relation.
+
+    Wraps a :class:`ChunkedColumns` accumulator (append O(1) per chunk,
+    one concatenation pass per column); :meth:`relation` materializes the
+    collected rows in emission order.  This is the explicit spelling of
+    the default path — evaluators short-circuit ``sink=None`` to an
+    internal code-space accumulator, and this sink exists so the
+    streamed interface itself is testable against that fast path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._acc: ChunkedColumns | None = None
+
+    def _opened(self, variables: tuple[str, ...]) -> None:
+        self._acc = ChunkedColumns(len(variables))
+
+    def _consume_columns(self, columns: list[np.ndarray], n: int) -> None:
+        self._acc.append(columns)
+
+    def relation(self, name: str = ""):
+        """The collected output as a Relation (rows in emission order)."""
+        from .relation import Relation
+
+        variables = self.variables
+        if not variables:
+            return Relation((), [()] if self._n_rows else [], name=name)
+        return Relation.from_columns(
+            variables, self._acc.finalize(), name=name
+        )
+
+
+class CountSink(OutputSink):
+    """|Q(D)| without materializing a single output row.
+
+    Batch sizes fold into an exact Python-int total — the same big-int
+    promotion discipline as :func:`repro.evaluation.acyclic_count`:
+    nothing is ever accumulated in a wrapping ``int64``, so counts past
+    2^63 (e.g. per-part counts folded in via :meth:`add`) stay exact.
+    ``needs_values`` is ``False``: the evaluators skip the value-column
+    decode entirely and report batch sizes via :meth:`append_size`.
+    """
+
+    needs_values = False
+
+    def _consume_columns(self, columns: list[np.ndarray], n: int) -> None:
+        pass  # the base class already counted the batch
+
+    def _consume_rows(self, rows: list[tuple], n: int) -> None:
+        pass
+
+    def add(self, count: int) -> None:
+        """Fold in an externally computed (possibly huge) exact count."""
+        count = operator.index(count)
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        self._n_rows += count
+
+    @property
+    def total(self) -> int:
+        """The exact output count, as a Python int."""
+        return self._n_rows
+
+
+class GroupCountSink(OutputSink):
+    """Output counts per projection of the binding.
+
+    ``group_vars`` selects the projection; :meth:`counts` returns a
+    ``Counter`` mapping each projected tuple to the number of output
+    rows it appears in — identical to ``Counter(projected rows)`` of the
+    materialized output, with peak memory O(#groups) instead of
+    O(|Q(D)|).
+    """
+
+    def __init__(self, group_vars: Sequence[str]) -> None:
+        super().__init__()
+        self._group_vars = tuple(group_vars)
+        self._positions: tuple[int, ...] | None = None
+        self._counter: Counter = Counter()
+
+    def _opened(self, variables: tuple[str, ...]) -> None:
+        missing = [v for v in self._group_vars if v not in variables]
+        if missing:
+            raise ValueError(
+                f"group variables {missing} not in output {variables}"
+            )
+        self._positions = tuple(
+            variables.index(v) for v in self._group_vars
+        )
+
+    def _consume_columns(self, columns: list[np.ndarray], n: int) -> None:
+        if not self._positions:
+            self._counter[()] += n
+            return
+        projected = [columns[p].tolist() for p in self._positions]
+        self._counter.update(zip(*projected))
+
+    def _consume_rows(self, rows: list[tuple], n: int) -> None:
+        if not self._positions:
+            self._counter[()] += n
+            return
+        positions = self._positions
+        self._counter.update(
+            tuple(row[p] for p in positions) for row in rows
+        )
+
+    def counts(self) -> Counter:
+        """Projected-tuple → multiplicity (a copy; keys are plain tuples)."""
+        return Counter(self._counter)
+
+
+class SpillSink(OutputSink):
+    """Stream the output to disk; hold at most one chunk in RAM.
+
+    Batches buffer in a :class:`ChunkedColumns` until ``chunk_rows`` rows
+    are pending, then flush as one atomic ``.npz`` segment through a
+    :class:`~repro.relational.chunkstore.SegmentStore` — peak live
+    memory beyond the evaluator's O(block × depth) is O(chunk).
+    :meth:`iter_chunks`/:meth:`iter_rows` re-iterate the spilled output
+    in emission order with one chunk live at a time, so the round trip
+    is bit-identical (rows, order, and dtype) to a materialized run.
+
+    Use as a context manager: closing removes every segment the sink
+    wrote (and its directory, if then empty) on success *and* on
+    exception.  Concurrent runs must be given distinct directories.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, chunk_rows: int = 1 << 16
+    ) -> None:
+        super().__init__()
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be ≥ 1, got {chunk_rows}")
+        self._directory = directory
+        self._chunk_rows = int(chunk_rows)
+        self._store = None
+        self._buffer: ChunkedColumns | None = None
+        self._buffered = 0
+        self._closed = False
+
+    def _opened(self, variables: tuple[str, ...]) -> None:
+        from .chunkstore import SegmentStore
+
+        if not variables:
+            raise ValueError(
+                "a zero-variable output has nothing to spill; use CountSink"
+            )
+        self._store = SegmentStore(self._directory, len(variables))
+        self._buffer = ChunkedColumns(len(variables))
+
+    @property
+    def store(self):
+        """The backing :class:`SegmentStore` (``None`` before open)."""
+        return self._store
+
+    def _consume_columns(self, columns: list[np.ndarray], n: int) -> None:
+        if self._closed:
+            raise RuntimeError("sink is closed")
+        self._buffer.append(columns)
+        self._buffered += n
+        if self._buffered >= self._chunk_rows:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write any buffered rows as one segment."""
+        if self._closed:
+            # the segments are gone: answering from the empty store
+            # would silently contradict n_rows
+            raise RuntimeError("sink is closed; its segments were removed")
+        if self._buffered:
+            self._store.write(self._buffer.finalize(), n_rows=self._buffered)
+            self._buffer = ChunkedColumns(len(self.variables))
+            self._buffered = 0
+
+    def iter_chunks(self) -> Iterator[list[np.ndarray]]:
+        """Spilled column chunks, in emission order, one live at a time."""
+        self.flush()
+        yield from self._store.iter_chunks()
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Spilled rows as tuples, in emission order."""
+        for chunk in self.iter_chunks():
+            yield from zip(*[column.tolist() for column in chunk])
+
+    def rows(self) -> list[tuple]:
+        """Materialize every spilled row (test/report convenience)."""
+        return list(self.iter_rows())
+
+    def close(self) -> None:
+        """Delete this sink's segments (idempotent)."""
+        if self._store is not None:
+            self._store.delete()
+        self._buffer = None
+        self._buffered = 0
+        self._closed = True
+
+    def __enter__(self) -> "SpillSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class CodeTrie:

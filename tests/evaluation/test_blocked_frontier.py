@@ -206,6 +206,36 @@ class TestStarMemoryCap:
         )
         assert peak_unblocked >= 8 * peak_blocked
 
+    def test_count_sink_caps_memory_at_fan_out_1024(self):
+        """The output-sink acceptance case at the scale PR 4 could not
+        touch cheaply: closed star fan-out 1024, whose unblocked
+        materialized evaluation allocates beyond 200 MB, counted under
+        ``CountSink`` + ``frontier_block=64`` within a 2 MB hard cap —
+        the same search (bit-identical meter and count), re-routed.
+        """
+        from repro.relational import CountSink
+
+        fan_out, block = 1024, 64
+        query = star_query(2)
+        db = star_database(fan_out)
+        # warm the trie caches cheaply (blocked, so ~1 MB peak)
+        generic_join(query, db, frontier_block=8192)
+        unblocked, peak_materialized = self._peak(generic_join, query, db)
+        sink = CountSink()
+        counted, peak_counted = self._peak(
+            generic_join, query, db, frontier_block=block, sink=sink
+        )
+        assert sink.total == unblocked.count == fan_out
+        assert counted.nodes_visited == unblocked.nodes_visited
+        assert peak_materialized > 200 * 1000 * 1000, (
+            f"expected a >200 MB materialized run, saw "
+            f"{peak_materialized / 1e6:.1f} MB"
+        )
+        assert peak_counted < 2 * 1024 * 1024, (
+            f"count-sink peak {peak_counted / 1e6:.2f} MB exceeds the "
+            f"2 MB cap"
+        )
+
 
 class TestChunkedColumns:
     def test_accumulates_and_finalizes_once(self):

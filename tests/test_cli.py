@@ -56,6 +56,41 @@ class TestCommands:
         assert "E14" in out and "block=4096" in out
         assert "NO" not in out  # every blocked run bit-identical
 
+    def test_sink_rejected_where_unsupported(self, capsys):
+        assert main(["experiment", "E7", "--sink", "count"]) == 2
+        assert "--sink" in capsys.readouterr().err
+
+    def test_spill_dir_requires_spill_sink(self, capsys):
+        code = main(
+            ["experiment", "E14", "--sink", "count", "--spill-dir", "x"]
+        )
+        assert code == 2
+        assert "--spill-dir requires --sink spill" in capsys.readouterr().err
+
+    def test_star_experiment_count_sink(self, capsys):
+        assert main(["experiment", "E14", "--sink", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "count" in out and "spill" not in out
+        assert "NO" not in out
+
+    def test_star_experiment_spill_sink(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment",
+                "E14",
+                "--sink",
+                "spill",
+                "--spill-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spill" in out and "NO" not in out
+        # the driver closes its sinks: every per-fan-out spill
+        # subdirectory (and its segments) is gone again
+        assert list(tmp_path.iterdir()) == []
+
     def test_bound_over_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "edges.csv"
         csv_path.write_text("x,y\n1,2\n2,3\n3,1\n2,1\n3,2\n1,3\n")
