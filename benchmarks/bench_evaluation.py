@@ -11,12 +11,19 @@ of the sorted-codes engine), with a conservative speedup guard that runs
 even in single-round CI smoke mode.
 """
 
+import math
 import time
 
 import pytest
 
+from repro.core import collect_statistics, lp_bound
 from repro.datasets import snap_database
-from repro.evaluation import generic_join, generic_join_tuples
+from repro.evaluation import (
+    evaluate_parallel,
+    evaluate_with_partitioning,
+    generic_join,
+    generic_join_tuples,
+)
 from repro.experiments.evaluation_runtime import run_evaluation_experiment
 from repro.query import parse_query
 
@@ -38,6 +45,29 @@ def test_bench_evaluation_runtime(once):
         assert r.output_matches
         assert r.within_budget
         assert r.parts_evaluated > 1  # the partitioning actually happened
+
+
+def test_bench_parallel_triangle(benchmark, db):
+    """The triangle through the supervised parallel evaluator.
+
+    Every round pays a fresh process-pool fork plus the part fan-out and
+    the deterministic merge — the supervision overhead this entry tracks.
+    Pool startup is host-load-dependent, so the trajectory grants the
+    entry extra tolerance (``trajectory.TOLERANCES``).
+    """
+    stats = collect_statistics(TRIANGLE, db, ps=[1.0, 2.0, math.inf])
+    bound = lp_bound(stats, query=TRIANGLE)
+    serial = evaluate_with_partitioning(TRIANGLE, db, bound, max_parts=20000)
+
+    def run_parallel():
+        return evaluate_parallel(
+            TRIANGLE, db, bound, workers=2, max_parts=20000
+        )
+
+    run = benchmark(run_parallel)
+    assert run.count == serial.count
+    assert run.nodes_visited == serial.nodes_visited
+    assert run.parts_evaluated == serial.parts_evaluated
 
 
 def test_bench_wcoj_triangle_columnar(benchmark, traced_peak, db):

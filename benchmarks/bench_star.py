@@ -17,8 +17,11 @@ trajectory: ``peak_traced_kb`` lands in ``extra_info`` and
 timing series.
 """
 
+import math
+
+from repro.core import collect_statistics, lp_bound
 from repro.datasets import star_database, star_query
-from repro.evaluation import generic_join
+from repro.evaluation import evaluate_parallel, generic_join
 from repro.relational import CountSink, SpillSink
 
 import pytest
@@ -99,6 +102,31 @@ def test_bench_star_spill_sink(benchmark, traced_peak, star_db, tmp_path):
         reference = generic_join(QUERY, star_db)
         assert sink.rows() == list(reference.output)
     run = benchmark(run_spilled)
+    assert run.count == FAN_OUT
+
+
+def test_bench_star_parallel(benchmark, star_db):
+    """Blocked frontier + counting sinks under parallel supervision.
+
+    Every round forks a fresh worker pool over the Lemma 2.5 parts and
+    merges through a final ``CountSink`` — pool startup is host-load
+    noise, so the entry gets extra trajectory tolerance
+    (``trajectory.TOLERANCES``).
+    """
+    stats = collect_statistics(QUERY, star_db, ps=[1.0, 2.0, math.inf])
+    bound = lp_bound(stats, query=QUERY)
+
+    def run_parallel():
+        return evaluate_parallel(
+            QUERY,
+            star_db,
+            bound,
+            workers=2,
+            frontier_block=FRONTIER_BLOCK,
+            sink=CountSink(),
+        )
+
+    run = benchmark(run_parallel)
     assert run.count == FAN_OUT
 
 

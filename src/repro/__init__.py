@@ -21,6 +21,7 @@ from .core import (
     BoundResult,
     BoundSolver,
     BoundTask,
+    BoundTaskError,
     ConcreteStatistic,
     Conditional,
     StatisticsCatalog,
@@ -57,6 +58,7 @@ __all__ = [
     "BoundResult",
     "BoundSolver",
     "BoundTask",
+    "BoundTaskError",
     "StatisticsCatalog",
     "product_form",
     "verify_certificate",

@@ -168,6 +168,55 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 )
                 return 2
             kwargs["spill_dir"] = args.spill_dir
+    supervised = {
+        "part_timeout": args.part_timeout,
+        "retries": args.retries,
+        "resume": args.resume,
+        "inject_faults": args.inject_faults,
+    }
+    given = {k: v for k, v in supervised.items() if v is not None}
+    if args.parallel_workers is None:
+        if given:
+            flags = ", ".join(
+                "--" + k.replace("_", "-") for k in given
+            )
+            print(
+                f"{flags} require(s) --parallel-workers", file=sys.stderr
+            )
+            return 2
+    else:
+        if args.parallel_workers < 1:
+            print(
+                f"--parallel-workers must be ≥ 1, got "
+                f"{args.parallel_workers}",
+                file=sys.stderr,
+            )
+            return 2
+        if "parallel_workers" not in params:
+            print(
+                f"experiment {key} does not take --parallel-workers",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["parallel_workers"] = args.parallel_workers
+        if args.inject_faults is not None:
+            # fail fast on a malformed spec, before any evaluation runs
+            from .evaluation import parse_fault_spec
+
+            try:
+                parse_fault_spec(args.inject_faults)
+            except ValueError as exc:
+                print(f"--inject-faults: {exc}", file=sys.stderr)
+                return 2
+        for name, value in given.items():
+            if name not in params:
+                flag = "--" + name.replace("_", "-")
+                print(
+                    f"experiment {key} does not take {flag}",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs[name] = value
     print(module.main(**kwargs))
     return 0
 
@@ -242,6 +291,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for --sink spill segment files (default: a "
         "temporary directory); concurrent runs must use distinct "
         "directories",
+    )
+    experiment.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also run the supervised parallel evaluator with N worker "
+        "processes over the Lemma 2.5 part combinations (experiments "
+        "that evaluate queries, e.g. E8/E14); results are verified "
+        "against the serial run",
+    )
+    experiment.add_argument(
+        "--part-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per part attempt before the worker is "
+        "killed and the part retried (requires --parallel-workers)",
+    )
+    experiment.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts per part before serial degradation "
+        "(requires --parallel-workers)",
+    )
+    experiment.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory: completed parts recorded there are "
+        "not re-evaluated on re-invocation (requires "
+        "--parallel-workers)",
+    )
+    experiment.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="chaos mode: deterministic fault plan for the parallel "
+        "workers, e.g. 'part=3:hang,part=5:exit' or "
+        "'seed=7,rate=0.3,kinds=raise+exit' (requires "
+        "--parallel-workers)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

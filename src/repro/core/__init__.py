@@ -16,6 +16,7 @@ from .lp_bound import (
     BoundResult,
     BoundSolver,
     BoundTask,
+    BoundTaskError,
     lp_bound,
     lp_bound_many,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "BoundResult",
     "BoundSolver",
     "BoundTask",
+    "BoundTaskError",
     "CONES",
     "product_form",
     "verify_certificate",

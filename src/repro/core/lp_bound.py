@@ -50,6 +50,7 @@ __all__ = [
     "BoundResult",
     "BoundSolver",
     "BoundTask",
+    "BoundTaskError",
     "lp_bound",
     "lp_bound_many",
     "CONES",
@@ -694,6 +695,37 @@ def _run_task_cold(task: BoundTask) -> BoundResult:
     )
 
 
+class BoundTaskError(RuntimeError):
+    """A :func:`lp_bound_many` task failed; names which one.
+
+    A batch of hundreds of LPs failing with a bare solver exception is
+    undebuggable — this wrapper pins the task index (and the query name,
+    when the task has one) onto the failure, with the original exception
+    chained as ``__cause__``.
+    """
+
+    def __init__(self, index: int, task: BoundTask, cause: BaseException):
+        self.index = index
+        self.task = task
+        name = task.query.name if task.query is not None else None
+        label = f"bound task {index}"
+        if name:
+            label += f" (query {name!r})"
+        super().__init__(
+            f"{label} failed: {type(cause).__name__}: {cause}"
+        )
+
+
+def _identified(result_fn, index: int, task: BoundTask) -> BoundResult:
+    """Run ``result_fn``, wrapping any failure with the task identity."""
+    try:
+        return result_fn()
+    except BoundTaskError:
+        raise
+    except Exception as exc:
+        raise BoundTaskError(index, task, exc) from exc
+
+
 def lp_bound_many(
     tasks: Iterable[BoundTask],
     solver: BoundSolver | None = None,
@@ -708,6 +740,10 @@ def lp_bound_many(
     :class:`BoundSolver` (pass ``solver=`` to share caches across calls),
     while the process pool re-solves cold in each worker (results are
     identical either way).  The result list is always in task order.
+
+    A task that fails raises :class:`BoundTaskError` carrying the task's
+    index and query name (original exception chained), whichever
+    executor ran it.
     """
     tasks = list(tasks)
     if solver is None:
@@ -716,13 +752,26 @@ def lp_bound_many(
     if executor == "auto":
         executor = "thread" if workers > 1 else "serial"
     if executor == "serial":
-        return [_run_task(task, solver) for task in tasks]
+        return [
+            _identified(lambda: _run_task(task, solver), index, task)
+            for index, task in enumerate(tasks)
+        ]
     if executor == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda t: _run_task(t, solver), tasks))
+            def run(pair: tuple[int, BoundTask]) -> BoundResult:
+                index, task = pair
+                return _identified(
+                    lambda: _run_task(task, solver), index, task
+                )
+
+            return list(pool.map(run, enumerate(tasks)))
     if executor == "process":
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_task_cold, tasks))
+            futures = [pool.submit(_run_task_cold, task) for task in tasks]
+            return [
+                _identified(future.result, index, task)
+                for index, (future, task) in enumerate(zip(futures, tasks))
+            ]
     raise ValueError(
         f"unknown executor {executor!r}; "
         "expected auto, serial, thread, or process"

@@ -1,9 +1,22 @@
 """Query evaluation: hash joins, WCOJ, and the Theorem 2.6 algorithm."""
 
 from .acyclic_count import acyclic_count, acyclic_count_tuples, join_tree
+from .faults import FaultCommand, FaultInjector, InjectedFault, parse_fault_spec
 from .joins import evaluate_left_deep, hash_join
-from .lp_join import PartitionedRun, evaluate_with_partitioning
+from .lp_join import (
+    PartitionedRun,
+    PartitionPlan,
+    evaluate_with_partitioning,
+    plan_partitioned_evaluation,
+)
 from .panda_algorithm import evaluate_part, theorem26_log2_budget
+from .parallel import (
+    ParallelRun,
+    PartFailedError,
+    PartOutcome,
+    SupervisionPolicy,
+    evaluate_parallel,
+)
 from .partitioning import (
     partition_by_degree,
     partition_for_statistic,
@@ -28,7 +41,18 @@ __all__ = [
     "evaluate_part",
     "theorem26_log2_budget",
     "evaluate_with_partitioning",
+    "plan_partitioned_evaluation",
+    "PartitionPlan",
     "PartitionedRun",
+    "evaluate_parallel",
+    "ParallelRun",
+    "PartOutcome",
+    "PartFailedError",
+    "SupervisionPolicy",
+    "FaultCommand",
+    "FaultInjector",
+    "InjectedFault",
+    "parse_fault_spec",
     "semijoin_reduce",
     "semijoin_reduce_tuples",
 ]

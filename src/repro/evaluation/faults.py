@@ -1,0 +1,277 @@
+"""Deterministic fault injection for the parallel part evaluator.
+
+The supervision layer in :mod:`repro.evaluation.parallel` only earns its
+keep if the failure modes it guards against can be produced *on demand
+and reproducibly*: a worker that raises, hangs past its wall-clock
+budget, dies without cleanup (``os._exit``), or reports success while
+its spill segment is silently truncated on disk.  This module provides
+that harness.
+
+A :class:`FaultInjector` is a pure plan: a mapping from
+``(part_index, attempt)`` to a fault kind.  The supervisor resolves the
+plan *before* submitting each attempt and ships a picklable
+:class:`FaultCommand` into the worker, which triggers it at the matching
+point of the part's lifecycle — so injection is exact (no sampling
+inside workers, no cross-process RNG state) and two runs with the same
+plan fail identically.  :meth:`FaultInjector.from_seed` derives a plan
+from one seed for chaos sweeps; :func:`parse_fault_spec` is the CLI
+surface (``--inject-faults``).
+
+Fault kinds
+-----------
+``raise``
+    The worker raises :class:`InjectedFault` before touching the part.
+``hang``
+    The worker sleeps far past any per-part timeout (the supervisor
+    must detect the expired deadline and kill the pool).
+``exit``
+    The worker dies via ``os._exit`` — no exception propagation, no
+    executor cleanup; the pool surfaces ``BrokenProcessPool``.
+``corrupt``
+    The part evaluates *successfully* and then its last spill segment
+    is truncated in place — the result-integrity case: the supervisor's
+    read-back validation must reject the attempt instead of merging
+    garbage.  (For count-only parts there is no segment to damage, so
+    the command degrades to ``raise`` — the attempt still fails.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Mapping
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultCommand",
+    "FaultInjector",
+    "InjectedFault",
+    "parse_fault_spec",
+]
+
+FAULT_KINDS = ("raise", "hang", "exit", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness."""
+
+
+@dataclass(frozen=True)
+class FaultCommand:
+    """One resolved, picklable fault for one (part, attempt) task."""
+
+    kind: str
+    part_index: int
+    attempt: int
+    hang_seconds: float = 3600.0
+    exit_code: int = 13
+
+    def trigger_before_evaluation(self) -> None:
+        """Fire the pre-evaluation kinds inside the worker process."""
+        if self.kind == "raise":
+            raise InjectedFault(
+                f"injected raise for part {self.part_index} "
+                f"attempt {self.attempt}"
+            )
+        if self.kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif self.kind == "exit":
+            os._exit(self.exit_code)
+
+    def trigger_after_spill(self, segment_paths) -> None:
+        """Fire the post-evaluation kinds (segment corruption)."""
+        if self.kind != "corrupt":
+            return
+        if not segment_paths:
+            # nothing on disk to damage (empty part or count-only mode):
+            # fail the attempt anyway so the plan stays observable
+            raise InjectedFault(
+                f"injected corrupt for part {self.part_index} "
+                f"attempt {self.attempt}: no segment to truncate"
+            )
+        victim = segment_paths[-1]
+        size = os.path.getsize(victim)
+        with open(victim, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+
+
+class FaultInjector:
+    """A deterministic plan of faults, keyed by (part index, attempt).
+
+    ``plan`` maps ``(part_index, attempt)`` — attempt numbers start at
+    0 — to a kind from :data:`FAULT_KINDS`.  The injector never decides
+    anything at fire time; equality of plans is equality of behaviour.
+    """
+
+    def __init__(
+        self,
+        plan: Mapping[tuple[int, int], str] | None = None,
+        hang_seconds: float = 3600.0,
+    ) -> None:
+        self.plan: dict[tuple[int, int], str] = {}
+        for key, kind in (plan or {}).items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; pick from {FAULT_KINDS}"
+                )
+            self.plan[(int(key[0]), int(key[1]))] = kind
+        self.hang_seconds = float(hang_seconds)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        n_parts: int,
+        rate: float = 0.25,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        attempts: int = 1,
+        hang_seconds: float = 3600.0,
+    ) -> "FaultInjector":
+        """Derive a plan from one seed: each part independently draws
+        whether its first ``attempts`` attempts fail, and how.
+
+        The draw order is fixed (ascending part index, one rate draw
+        plus one kind draw per hit), so the same ``(seed, n_parts,
+        rate, kinds, attempts)`` always yields the same plan — the
+        determinism the chaos tests pin down.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown fault kinds {unknown}; pick from {FAULT_KINDS}"
+            )
+        rng = Random(seed)
+        plan: dict[tuple[int, int], str] = {}
+        for part in range(n_parts):
+            if rng.random() < rate:
+                kind = kinds[rng.randrange(len(kinds))]
+                for attempt in range(attempts):
+                    plan[(part, attempt)] = kind
+        return cls(plan, hang_seconds=hang_seconds)
+
+    def resolve(self, n_parts: int) -> "FaultInjector":
+        """Bind the plan to a run's part count (no-op for explicit plans;
+        :class:`_SeededSpec` overrides this to draw its seeded plan)."""
+        return self
+
+    def command_for(
+        self, part_index: int, attempt: int
+    ) -> FaultCommand | None:
+        """The fault to inject for this attempt, or ``None``."""
+        kind = self.plan.get((part_index, attempt))
+        if kind is None:
+            return None
+        return FaultCommand(
+            kind=kind,
+            part_index=part_index,
+            attempt=attempt,
+            hang_seconds=self.hang_seconds,
+        )
+
+    def __len__(self) -> int:
+        return len(self.plan)
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector: {len(self.plan)} planned faults>"
+
+
+def parse_fault_spec(text: str) -> FaultInjector:
+    """Parse the CLI's ``--inject-faults`` specification.
+
+    Two forms, mixable as comma-separated ``key=value`` fields:
+
+    * seeded chaos — ``seed=7,rate=0.3,kinds=raise+hang,attempts=1``
+      (``parts`` must be resolvable by the caller; the seeded plan is
+      built lazily via :meth:`FaultInjector.from_seed` with the run's
+      part count, so this parser returns the *parameters* bound into a
+      builder), and
+    * explicit plan — ``part=3:hang,part=5:exit`` pins exact faults on
+      exact parts (attempt 0).
+
+    Returns a :class:`FaultInjector` for explicit plans.  For seeded
+    specs the part count is unknown here, so a :class:`_SeededSpec`
+    placeholder injector is returned whose :meth:`resolve` binds it.
+    """
+    plan: dict[tuple[int, int], str] = {}
+    seeded: dict[str, float] = {}
+    kinds: tuple[str, ...] = FAULT_KINDS
+    hang_seconds = 3600.0
+    for field in text.split(","):
+        field = field.strip()
+        if not field:
+            continue
+        key, _, value = field.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not value:
+            raise ValueError(
+                f"fault spec field {field!r} is not KEY=VALUE"
+            )
+        if key == "part":
+            index_text, _, kind = value.partition(":")
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"fault spec part entry {value!r} needs INDEX:KIND "
+                    f"with KIND in {FAULT_KINDS}"
+                )
+            plan[(int(index_text), 0)] = kind
+        elif key in ("seed", "attempts"):
+            seeded[key] = int(value)
+        elif key == "rate":
+            seeded[key] = float(value)
+        elif key == "kinds":
+            kinds = tuple(value.split("+"))
+        elif key == "hang":
+            hang_seconds = float(value)
+        else:
+            raise ValueError(f"unknown fault spec field {key!r}")
+    if plan and seeded:
+        raise ValueError(
+            "fault spec mixes an explicit part= plan with seeded fields"
+        )
+    if seeded:
+        return _SeededSpec(
+            seed=int(seeded.get("seed", 0)),
+            rate=float(seeded.get("rate", 0.25)),
+            kinds=kinds,
+            attempts=int(seeded.get("attempts", 1)),
+            hang_seconds=hang_seconds,
+        )
+    return FaultInjector(plan, hang_seconds=hang_seconds)
+
+
+class _SeededSpec(FaultInjector):
+    """A seeded fault spec whose plan binds once the part count is known.
+
+    Behaves as an empty injector until :meth:`resolve` is called (the
+    parallel evaluator resolves it against the plan's combination
+    count before the first submission).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float,
+        kinds: tuple[str, ...],
+        attempts: int,
+        hang_seconds: float,
+    ) -> None:
+        super().__init__({}, hang_seconds=hang_seconds)
+        self.seed = seed
+        self.rate = rate
+        self.kinds = kinds
+        self.attempts = attempts
+
+    def resolve(self, n_parts: int) -> FaultInjector:
+        return FaultInjector.from_seed(
+            self.seed,
+            n_parts,
+            rate=self.rate,
+            kinds=self.kinds,
+            attempts=self.attempts,
+            hang_seconds=self.hang_seconds,
+        )

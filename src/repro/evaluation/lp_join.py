@@ -30,7 +30,12 @@ from ..relational.columnar import ChunkedColumns
 from .panda_algorithm import evaluate_part, theorem26_log2_budget
 from .partitioning import partition_for_statistic
 
-__all__ = ["PartitionedRun", "evaluate_with_partitioning"]
+__all__ = [
+    "PartitionPlan",
+    "PartitionedRun",
+    "evaluate_with_partitioning",
+    "plan_partitioned_evaluation",
+]
 
 
 @dataclass
@@ -96,6 +101,125 @@ def _union_outputs(
     return Relation(query.variables, rows, name=query.name)
 
 
+@dataclass
+class PartitionPlan:
+    """The Lemma 2.5 part structure of one Theorem 2.6 evaluation.
+
+    ``rewritten`` gives every atom a private relation name (atom-level
+    parts, correct for self-joins); ``part_lists[i]`` holds atom *i*'s
+    Lemma 2.5 parts (the whole relation when no statistic guards it).
+    Part combinations are indexed ``0 .. n_combinations-1`` in exactly
+    the order ``itertools.product(*part_lists)`` enumerates them (the
+    last atom's parts vary fastest), so a fixed-index merge reproduces
+    the serial evaluation order bit for bit — the contract the parallel
+    evaluator's deterministic merge relies on.
+    """
+
+    query: ConjunctiveQuery
+    rewritten: ConjunctiveQuery
+    base: dict[str, Relation]
+    part_lists: list[list[Relation]]
+    log2_budget: float
+
+    @property
+    def n_combinations(self) -> int:
+        count = 1
+        for parts in self.part_lists:
+            count *= max(1, len(parts))
+        return count
+
+    def combination_relations(self, index: int) -> dict[str, Relation]:
+        """The relation map of part combination ``index``.
+
+        Mixed-radix decode over the part-list sizes, last atom fastest —
+        identical to position ``index`` of ``itertools.product``.
+        """
+        if not 0 <= index < self.n_combinations:
+            raise IndexError(
+                f"combination {index} out of range "
+                f"[0, {self.n_combinations})"
+            )
+        relations = dict(self.base)
+        remainder = index
+        for atom, parts in zip(
+            reversed(self.rewritten.atoms), reversed(self.part_lists)
+        ):
+            size = max(1, len(parts))
+            remainder, digit = divmod(remainder, size)
+            if parts:
+                relations[atom.relation] = parts[digit]
+        return relations
+
+    def combinations(self):
+        """``(index, relations)`` for every combination, in merge order."""
+        for index, combo in enumerate(itertools.product(*self.part_lists)):
+            relations = dict(self.base)
+            for atom, part in zip(self.rewritten.atoms, combo):
+                relations[atom.relation] = part
+            yield index, relations
+
+
+def plan_partitioned_evaluation(
+    query: ConjunctiveQuery,
+    db: Database,
+    bound: BoundResult,
+    max_parts: int = 4096,
+    weight_tol: float = 1e-7,
+) -> PartitionPlan:
+    """Partition every guarded atom's relation per Lemma 2.5.
+
+    Only statistics with non-zero dual weight, finite p > 1 and a
+    non-empty U require partitioning (ℓ1 and ℓ∞ statistics are already
+    in PANDA's language).  Atoms not guarded by any such statistic pass
+    through whole.  Raises ``ValueError`` if the combination count would
+    exceed ``max_parts`` — the part count is exponential in Σ p_i (that
+    is the constant c of Theorem 2.6).
+    """
+    atom_stats: dict[Atom, list[ConcreteStatistic]] = {}
+    for stat, _ in bound.used_statistics(weight_tol):
+        if stat.p == math.inf or stat.p == 1.0 or not stat.conditional.u:
+            continue
+        atom_stats.setdefault(stat.guard, []).append(stat)
+
+    # rewrite the query so every atom owns a private relation name — this
+    # makes the union-of-queries atom-level, as the paper requires ("one
+    # query per combination of parts of different relations"), including
+    # for self-joins.
+    rewritten_atoms: list[Atom] = []
+    base: dict[str, Relation] = {}
+    part_lists: list[list[Relation]] = []
+    for idx, atom in enumerate(query.atoms):
+        private = f"{atom.relation}@{idx}"
+        rewritten_atoms.append(Atom(private, atom.variables))
+        relation = db[atom.relation]
+        base[private] = relation
+        parts = [relation]
+        for stat in atom_stats.get(atom, ()):
+            refined: list[Relation] = []
+            for part in parts:
+                v_attrs, u_attrs = _attrs_for(stat, part)
+                refined.extend(
+                    partition_for_statistic(
+                        part, v_attrs, u_attrs, stat.p, stat.log2_bound
+                    )
+                )
+            parts = refined
+        part_lists.append(parts)
+    plan = PartitionPlan(
+        query=query,
+        rewritten=ConjunctiveQuery(rewritten_atoms, name=query.name),
+        base=base,
+        part_lists=part_lists,
+        log2_budget=theorem26_log2_budget(bound, weight_tol),
+    )
+    if plan.n_combinations > max_parts:
+        raise ValueError(
+            f"{plan.n_combinations} part combinations exceed "
+            f"max_parts={max_parts}"
+        )
+    return plan
+
+
 def _attrs_for(stat: ConcreteStatistic, relation: Relation) -> tuple[list, list]:
     mapping: dict[str, str] = {}
     for position, var in enumerate(stat.guard.variables):
@@ -139,61 +263,18 @@ def evaluate_with_partitioning(
     ``max_parts`` — the part count is exponential in Σ p_i (that is the
     constant c of Theorem 2.6).
     """
-    # statistics needing partitioning, keyed by their guard atom
-    atom_stats: dict[Atom, list[ConcreteStatistic]] = {}
-    for stat, _ in bound.used_statistics(weight_tol):
-        if stat.p == math.inf or stat.p == 1.0 or not stat.conditional.u:
-            continue
-        atom_stats.setdefault(stat.guard, []).append(stat)
-
-    # rewrite the query so every atom owns a private relation name — this
-    # makes the union-of-queries atom-level, as the paper requires ("one
-    # query per combination of parts of different relations"), including
-    # for self-joins.
-    rewritten_atoms: list[Atom] = []
-    base: dict[str, Relation] = {}
-    part_lists: list[list[Relation]] = []
-    for idx, atom in enumerate(query.atoms):
-        private = f"{atom.relation}@{idx}"
-        rewritten_atoms.append(Atom(private, atom.variables))
-        relation = db[atom.relation]
-        base[private] = relation
-        parts = [relation]
-        for stat in atom_stats.get(atom, ()):
-            refined: list[Relation] = []
-            for part in parts:
-                v_attrs, u_attrs = _attrs_for(stat, part)
-                refined.extend(
-                    partition_for_statistic(
-                        part, v_attrs, u_attrs, stat.p, stat.log2_bound
-                    )
-                )
-            parts = refined
-        part_lists.append(parts)
-    rewritten = ConjunctiveQuery(rewritten_atoms, name=query.name)
-
-    combo_count = 1
-    for parts in part_lists:
-        combo_count *= max(1, len(parts))
-    if combo_count > max_parts:
-        raise ValueError(
-            f"{combo_count} part combinations exceed max_parts={max_parts}"
-        )
-
+    plan = plan_partitioned_evaluation(query, db, bound, max_parts, weight_tol)
     if sink is not None:
         # the rewritten query's variables are the original's (same atoms,
         # first-appearance order), so the sink sees the same schema the
         # materializing union would produce.
-        sink.open(rewritten.variables)
+        sink.open(plan.rewritten.variables)
     outputs: list[Relation] = []
     nodes_total = 0
     parts_evaluated = 0
-    for combo in itertools.product(*part_lists):
-        relations = dict(base)
-        for atom, part in zip(rewritten_atoms, combo):
-            relations[atom.relation] = part
+    for _, relations in plan.combinations():
         run = evaluate_part(
-            rewritten,
+            plan.rewritten,
             Database(relations),
             frontier_block=frontier_block,
             sink=sink,
@@ -207,6 +288,6 @@ def evaluate_with_partitioning(
         output=output,
         parts_evaluated=parts_evaluated,
         nodes_visited=nodes_total,
-        log2_budget=theorem26_log2_budget(bound, weight_tol),
+        log2_budget=plan.log2_budget,
         sink=sink,
     )

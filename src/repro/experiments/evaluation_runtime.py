@@ -5,6 +5,13 @@ PANDA stand-in) on graph workloads and compares the *metered* work —
 search-tree nodes across all parts — against the Theorem 2.6 budget
 c · Π_i B_i^{w_i}.  Also cross-checks that the partitioned evaluation
 returns exactly the same output as a direct join.
+
+With ``parallel_workers`` set, each workload additionally runs through
+the supervised parallel evaluator
+(:func:`repro.evaluation.evaluate_parallel`) — same part combinations
+fanned across a process pool with timeout/retry/checkpoint supervision —
+and the row verifies its count, part total, and node meter against the
+serial run.
 """
 
 from __future__ import annotations
@@ -14,7 +21,13 @@ from dataclasses import dataclass
 
 from ..core import BoundSolver, StatisticsCatalog
 from ..datasets.snap import snap_database
-from ..evaluation import count_query, evaluate_with_partitioning
+from ..evaluation import (
+    SupervisionPolicy,
+    count_query,
+    evaluate_parallel,
+    evaluate_with_partitioning,
+    parse_fault_spec,
+)
 from ..query import parse_query
 from ..query.query import ConjunctiveQuery
 from ..relational import Database
@@ -35,6 +48,7 @@ class RuntimeRow:
     parts_evaluated: int
     log2_nodes: float
     log2_budget: float
+    engine: str = "serial"
 
     @property
     def output_matches(self) -> bool:
@@ -53,45 +67,128 @@ def _run_one(
     ps: list[float],
     catalog: StatisticsCatalog,
     solver: BoundSolver,
-) -> RuntimeRow:
+    parallel_workers: int | None = None,
+    policy: SupervisionPolicy | None = None,
+    injector=None,
+    run_dir: str | None = None,
+) -> list[RuntimeRow]:
     (stats,) = catalog.precompute([query], ps=ps)
     bound = solver.solve(stats, query=query)
     run = evaluate_with_partitioning(query, db, bound, max_parts=20000)
     direct = count_query(query, db)
-    return RuntimeRow(
-        workload=label,
-        output_count=run.count,
-        direct_count=direct,
-        parts_evaluated=run.parts_evaluated,
-        log2_nodes=math.log2(max(1, run.nodes_visited)),
-        log2_budget=run.log2_budget,
-    )
+    rows = [
+        RuntimeRow(
+            workload=label,
+            output_count=run.count,
+            direct_count=direct,
+            parts_evaluated=run.parts_evaluated,
+            log2_nodes=math.log2(max(1, run.nodes_visited)),
+            log2_budget=run.log2_budget,
+        )
+    ]
+    if parallel_workers:
+        par = evaluate_parallel(
+            query,
+            db,
+            bound,
+            workers=parallel_workers,
+            max_parts=20000,
+            policy=policy,
+            injector=injector,
+            run_dir=run_dir,
+            resume=run_dir is not None,
+        )
+        # the parallel merge must reproduce the serial run exactly:
+        # same count, same part total, same node meter
+        matches = (
+            par.count == run.count
+            and par.parts_evaluated == run.parts_evaluated
+            and par.nodes_visited == run.nodes_visited
+        )
+        rows.append(
+            RuntimeRow(
+                workload=label,
+                output_count=par.count,
+                direct_count=run.count if matches else -1,
+                parts_evaluated=par.parts_evaluated,
+                log2_nodes=math.log2(max(1, par.nodes_visited)),
+                log2_budget=par.log2_budget,
+                engine=f"parallel[{parallel_workers}]",
+            )
+        )
+    return rows
 
 
 def run_evaluation_experiment(
     dataset: str = "ca-GrQc",
+    parallel_workers: int | None = None,
+    policy: SupervisionPolicy | None = None,
+    injector=None,
+    resume_dir: str | None = None,
 ) -> list[RuntimeRow]:
-    """Run E8 on one dataset: the one-join and the triangle."""
+    """Run E8 on one dataset: the one-join and the triangle.
+
+    ``parallel_workers`` adds one supervised-parallel row per workload
+    (verified against the serial run); ``resume_dir`` roots per-workload
+    checkpoint directories for interrupted runs.
+    """
     db = snap_database(dataset)
     # both workloads share one catalog (the triangle reuses the one-join's
     # degree sequences) and one solver.
     catalog = StatisticsCatalog(db)
     solver = BoundSolver()
     ps = [1.0, 2.0, math.inf]
-    return [
-        _run_one(f"one-join/{dataset}", ONE_JOIN, db, ps, catalog, solver),
-        _run_one(f"triangle/{dataset}", TRIANGLE, db, ps, catalog, solver),
-    ]
+    rows: list[RuntimeRow] = []
+    for label, query in (
+        (f"one-join/{dataset}", ONE_JOIN),
+        (f"triangle/{dataset}", TRIANGLE),
+    ):
+        run_dir = None
+        if resume_dir is not None:
+            run_dir = f"{resume_dir}/{label.replace('/', '-')}"
+        rows.extend(
+            _run_one(
+                label,
+                query,
+                db,
+                ps,
+                catalog,
+                solver,
+                parallel_workers=parallel_workers,
+                policy=policy,
+                injector=injector,
+                run_dir=run_dir,
+            )
+        )
+    return rows
 
 
-def main(dataset: str = "ca-GrQc") -> str:
-    """Render E8."""
-    rows = run_evaluation_experiment(dataset)
+def main(
+    dataset: str = "ca-GrQc",
+    parallel_workers: int | None = None,
+    part_timeout: float | None = None,
+    retries: int | None = None,
+    inject_faults: str | None = None,
+    resume: str | None = None,
+) -> str:
+    """Render E8 (optionally with supervised-parallel rows)."""
+    policy_kwargs = {}
+    if part_timeout is not None:
+        policy_kwargs["part_timeout"] = part_timeout
+    if retries is not None:
+        policy_kwargs["max_retries"] = retries
+    rows = run_evaluation_experiment(
+        dataset,
+        parallel_workers=parallel_workers,
+        policy=SupervisionPolicy(**policy_kwargs) if policy_kwargs else None,
+        injector=parse_fault_spec(inject_faults) if inject_faults else None,
+        resume_dir=resume,
+    )
     lines = [f"E8 (Theorem 2.6): partitioned evaluation on {dataset}"]
     for r in rows:
         lines.append(
-            f"  {r.workload}: |Q|={r.output_count}"
-            f" (matches direct: {r.output_matches});"
+            f"  {r.workload} [{r.engine}]: |Q|={r.output_count}"
+            f" (matches: {r.output_matches});"
             f" {r.parts_evaluated} part combinations;"
             f" work 2^{r.log2_nodes:.2f} vs budget 2^{r.log2_budget:.2f}"
             f" (within budget: {r.within_budget})"

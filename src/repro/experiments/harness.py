@@ -4,10 +4,36 @@ from __future__ import annotations
 
 import math
 import time
+import tracemalloc
 from contextlib import contextmanager
 from typing import Iterable, Sequence
 
-__all__ = ["ratio_to_true", "format_table", "format_scientific", "timer"]
+__all__ = [
+    "ratio_to_true",
+    "format_table",
+    "format_scientific",
+    "metered",
+    "timer",
+]
+
+
+def metered(fn):
+    """Run ``fn`` under tracemalloc: ``(result, peak_mb, seconds)``.
+
+    ``tracemalloc`` sees NumPy buffer allocations, so the peak reflects
+    columnar frontiers and chunk buffers, not just Python objects.
+    """
+    tracemalloc.start()
+    try:
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        # a raising run must not leave tracing on: the next start()
+        # would accumulate peaks across runs and corrupt the comparison
+        tracemalloc.stop()
+    return result, peak / 1e6, elapsed
 
 
 def ratio_to_true(log2_bound: float, true_count: int) -> float:

@@ -28,16 +28,21 @@ spilling, O(1) when counting), without giving up worst-case optimality
 
 from __future__ import annotations
 
+import math
 import tempfile
-import time
-import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..core import collect_statistics, lp_bound
 from ..datasets.generators import star_database, star_query
-from ..evaluation import generic_join
+from ..evaluation import (
+    SupervisionPolicy,
+    evaluate_parallel,
+    generic_join,
+    parse_fault_spec,
+)
 from ..relational import CountSink, SpillSink
-from .harness import format_table
+from .harness import format_table, metered
 
 __all__ = ["StarRow", "run_star_experiment", "main"]
 
@@ -63,27 +68,18 @@ class StarRow:
     peak_mb: float
     seconds: float
     matches_unblocked: bool
+    workers: int | None = None
 
     @property
     def label(self) -> str:
-        if self.frontier_block is None:
-            return "unblocked"
-        return f"block={self.frontier_block}"
-
-
-def _metered(fn):
-    """Run ``fn`` under tracemalloc: ``(result, peak_mb, seconds)``."""
-    tracemalloc.start()
-    try:
-        started = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - started
-        _, peak = tracemalloc.get_traced_memory()
-    finally:
-        # a raising run must not leave tracing on: the next start()
-        # would accumulate peaks across runs and corrupt the comparison
-        tracemalloc.stop()
-    return result, peak / 1e6, elapsed
+        base = (
+            "unblocked"
+            if self.frontier_block is None
+            else f"block={self.frontier_block}"
+        )
+        if self.workers:
+            return f"parallel[{self.workers}]·{base}"
+        return base
 
 
 def run_star_experiment(
@@ -94,6 +90,10 @@ def run_star_experiment(
     sinks: tuple[str, ...] = SINK_MODES,
     spill_dir: str | None = None,
     include_unblocked: bool = True,
+    parallel_workers: int | None = None,
+    policy: SupervisionPolicy | None = None,
+    injector=None,
+    resume_dir: str | None = None,
 ) -> list[StarRow]:
     """Run E14: a materialized reference plus one blocked row per sink.
 
@@ -105,6 +105,16 @@ def run_star_experiment(
     output, with count/spill sinks) no longer fits in RAM; the
     reference rows themselves are only materialized when a requested
     sink compares rows rather than counts.
+
+    ``parallel_workers`` adds one more row per (fan-out, sink) driving
+    the supervised parallel evaluator
+    (:func:`repro.evaluation.evaluate_parallel`) over the star's
+    Lemma 2.5 part combinations, governed by ``policy`` and (for chaos
+    runs) ``injector``; ``resume_dir`` roots per-cell checkpoint
+    directories so an interrupted sweep resumes completed parts.  The
+    parallel rows verify output counts (and row multisets where the
+    sink keeps rows) against the reference; the bit-identical
+    serial-vs-parallel checks live in the fault-tolerance test suite.
     """
     unknown = [s for s in sinks if s not in SINK_MODES]
     if unknown:
@@ -117,7 +127,7 @@ def run_star_experiment(
         db = star_database(fan_out, num_hubs=num_hubs, arms=arms)
         generic_join(query, db, frontier_block=frontier_block)  # warm tries
         reference_block = None if include_unblocked else frontier_block
-        reference, ref_peak, ref_time = _metered(
+        reference, ref_peak, ref_time = metered(
             lambda: generic_join(query, db, frontier_block=reference_block)
         )
         reference_rows = list(reference.output) if needs_rows else None
@@ -135,7 +145,7 @@ def run_star_experiment(
         )
         for mode in sinks:
             if mode == "materialize":
-                run, peak, secs = _metered(
+                run, peak, secs = metered(
                     lambda: generic_join(
                         query, db, frontier_block=frontier_block
                     )
@@ -147,7 +157,7 @@ def run_star_experiment(
                 count = run.count
             elif mode == "count":
                 sink = CountSink()
-                run, peak, secs = _metered(
+                run, peak, secs = metered(
                     lambda: generic_join(
                         query, db, frontier_block=frontier_block, sink=sink
                     )
@@ -166,7 +176,7 @@ def run_star_experiment(
                     target = Path(context.name) / "spill"
                 try:
                     with SpillSink(target) as sink:
-                        run, peak, secs = _metered(
+                        run, peak, secs = metered(
                             lambda: generic_join(
                                 query,
                                 db,
@@ -194,6 +204,100 @@ def run_star_experiment(
                     matches_unblocked=matches,
                 )
             )
+        if parallel_workers:
+            rows.extend(
+                _parallel_rows(
+                    query,
+                    db,
+                    fan_out,
+                    frontier_block,
+                    sinks,
+                    reference,
+                    reference_rows,
+                    parallel_workers,
+                    policy,
+                    injector,
+                    resume_dir,
+                )
+            )
+    return rows
+
+
+def _parallel_rows(
+    query,
+    db,
+    fan_out: int,
+    frontier_block: int,
+    sinks: tuple[str, ...],
+    reference,
+    reference_rows,
+    workers: int,
+    policy: SupervisionPolicy | None,
+    injector,
+    resume_dir: str | None,
+) -> list[StarRow]:
+    """One supervised-parallel row per sink mode for one fan-out."""
+    stats = collect_statistics(query, db, ps=[1.0, 2.0, math.inf])
+    bound = lp_bound(stats, query=query)
+    rows: list[StarRow] = []
+    for mode in sinks:
+        run_dir = (
+            str(Path(resume_dir) / f"fanout-{fan_out}-{mode}")
+            if resume_dir
+            else None
+        )
+        common = dict(
+            workers=workers,
+            frontier_block=frontier_block,
+            policy=policy,
+            injector=injector,
+            run_dir=run_dir,
+            resume=run_dir is not None,
+        )
+        if mode == "materialize":
+            run, peak, secs = metered(
+                lambda: evaluate_parallel(query, db, bound, **common)
+            )
+            count = run.count
+            matches = count == reference.count and (
+                reference_rows is None
+                or sorted(run.output) == sorted(reference_rows)
+            )
+        elif mode == "count":
+            sink = CountSink()
+            run, peak, secs = metered(
+                lambda: evaluate_parallel(
+                    query, db, bound, sink=sink, **common
+                )
+            )
+            count = sink.total
+            matches = count == reference.count
+        else:  # spill
+            with tempfile.TemporaryDirectory() as scratch:
+                with SpillSink(Path(scratch) / "spill") as sink:
+                    run, peak, secs = metered(
+                        lambda: evaluate_parallel(
+                            query, db, bound, sink=sink, **common
+                        )
+                    )
+                    count = sink.n_rows
+                    matches = count == reference.count and (
+                        reference_rows is None
+                        or sorted(sink.rows()) == sorted(reference_rows)
+                    )
+        rows.append(
+            StarRow(
+                fan_out=fan_out,
+                frontier_block=frontier_block,
+                sink=mode,
+                output_count=count,
+                nodes_visited=run.nodes_visited,
+                peak_mb=peak,
+                seconds=secs,
+                matches_unblocked=matches,
+                workers=workers,
+            )
+        )
     return rows
 
 
@@ -201,11 +305,37 @@ def main(
     frontier_block: int = DEFAULT_FRONTIER_BLOCK,
     sink: str | None = None,
     spill_dir: str | None = None,
+    parallel_workers: int | None = None,
+    part_timeout: float | None = None,
+    retries: int | None = None,
+    inject_faults: str | None = None,
+    resume: str | None = None,
 ) -> str:
-    """Render the E14 table (all sink modes, or just the requested one)."""
+    """Render the E14 table (all sink modes, or just the requested one).
+
+    ``parallel_workers`` adds supervised-parallel rows;
+    ``part_timeout``/``retries`` tune their supervision policy,
+    ``inject_faults`` threads a deterministic fault plan through the
+    workers (see :func:`repro.evaluation.parse_fault_spec`), and
+    ``resume`` names a checkpoint directory to continue an interrupted
+    sweep from.
+    """
     sinks = SINK_MODES if sink is None else (sink,)
+    policy_kwargs = {}
+    if part_timeout is not None:
+        policy_kwargs["part_timeout"] = part_timeout
+    if retries is not None:
+        policy_kwargs["max_retries"] = retries
     rows = run_star_experiment(
-        frontier_block=frontier_block, sinks=sinks, spill_dir=spill_dir
+        frontier_block=frontier_block,
+        sinks=sinks,
+        spill_dir=spill_dir,
+        parallel_workers=parallel_workers,
+        policy=SupervisionPolicy(**policy_kwargs) if policy_kwargs else None,
+        injector=(
+            parse_fault_spec(inject_faults) if inject_faults else None
+        ),
+        resume_dir=resume,
     )
     table = format_table(
         [

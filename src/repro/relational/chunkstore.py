@@ -10,20 +10,38 @@ dtypes bit-identically while only one chunk is ever live.
 
 Robustness properties the tests pin down:
 
-* **Atomic writes** — each segment is written to a ``*.tmp`` sibling,
-  fsynced, and moved into place with ``os.replace``; a crash can never
-  leave a half-written file under a segment name.
+* **Atomic, durable writes** — each segment is written to a ``*.tmp``
+  sibling, fsynced, and moved into place with ``os.replace``, after
+  which the parent *directory* is fsynced too: a crash (or a hard
+  ``SIGKILL``) can neither leave a half-written file under a segment
+  name nor lose a completed rename that was still sitting in the
+  directory's dirty metadata.
 * **Validated reads** — a truncated, corrupt, or wrong-shape segment
   raises :class:`ChunkStoreError` naming the file instead of yielding
   garbage rows.
+* **Self-describing directories** — every store stamps its directory
+  with a small ``store.json`` manifest (format tag + column arity).
+  Opening a directory whose manifest is foreign, unparsable, or
+  declares a different arity raises :class:`ChunkStoreError` instead of
+  silently interleaving two stores' segments;
+  :meth:`SegmentStore.attach` re-opens a stamped directory and
+  re-registers its surviving segments in write order (validating every
+  one), which is what checkpoint-resume builds on.
 * **No cross-run collisions** — segment names are deterministic per
   store, so concurrent runs must be given distinct directories (the
   CLI's ``--spill-dir``); :meth:`SegmentStore.delete` removes only the
-  segments this store wrote and the directory only if it is empty.
+  segments this store wrote (plus its manifest stamp) and the directory
+  only if it is empty.
+
+:func:`atomic_write_json` and :func:`fsync_dir` expose the same
+write-to-tmp + ``os.replace`` + directory-fsync discipline for callers
+persisting their own manifests (the parallel evaluator's per-run
+checkpoint in :mod:`repro.evaluation.parallel`).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import zipfile
@@ -32,9 +50,54 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["ChunkStoreError", "SegmentStore"]
+__all__ = [
+    "ChunkStoreError",
+    "SegmentStore",
+    "atomic_write_json",
+    "fsync_dir",
+]
 
 _SEGMENT_NAME = "segment-{:08d}.npz"
+_STORE_MANIFEST = "store.json"
+_STORE_FORMAT = "repro-segment-store/v1"
+
+
+def fsync_dir(directory: str | os.PathLike) -> None:
+    """Flush a directory's metadata (renames, creations) to disk.
+
+    ``os.replace`` makes a write atomic but not *durable*: the rename
+    lives in the directory's metadata until that is synced.  A no-op on
+    platforms that cannot open directories for syncing.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str | os.PathLike, payload: dict) -> None:
+    """Write JSON durably: tmp sibling + fsync + ``os.replace`` + dir fsync.
+
+    A reader never observes a partial file, and once this returns the
+    content survives a hard kill.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    fsync_dir(path.parent)
 
 
 class ChunkStoreError(RuntimeError):
@@ -62,6 +125,81 @@ class SegmentStore:
         self.n_columns = int(n_columns)
         self._paths: list[Path] = []
         self._n_rows = 0
+        self._stamp()
+
+    def _stamp(self) -> None:
+        """Validate or create this directory's ``store.json`` manifest.
+
+        Raises :class:`ChunkStoreError` when the directory already
+        carries a manifest this store did not write — a foreign file
+        named ``store.json``, an unparsable one, or one declaring a
+        different format/arity — instead of mixing segments of two
+        incompatible stores in one directory.
+        """
+        manifest = self.directory / _STORE_MANIFEST
+        if manifest.exists():
+            try:
+                payload = json.loads(manifest.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                raise ChunkStoreError(
+                    f"{manifest} exists but is not a segment-store "
+                    f"manifest: {exc}"
+                ) from exc
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != _STORE_FORMAT
+            ):
+                raise ChunkStoreError(
+                    f"{manifest} belongs to a foreign store "
+                    f"(format {payload.get('format') if isinstance(payload, dict) else payload!r})"
+                )
+            if payload.get("n_columns") != self.n_columns:
+                raise ChunkStoreError(
+                    f"{manifest} declares {payload.get('n_columns')} "
+                    f"columns, store opened with {self.n_columns}"
+                )
+        else:
+            atomic_write_json(
+                manifest,
+                {"format": _STORE_FORMAT, "n_columns": self.n_columns},
+            )
+
+    @classmethod
+    def attach(
+        cls,
+        directory: str | os.PathLike,
+        n_columns: int,
+        segment_names: Sequence[str] | None = None,
+    ) -> "SegmentStore":
+        """Re-open a stamped store directory, re-registering its segments.
+
+        ``segment_names`` pins the exact expected segment files (a
+        checkpoint manifest's record); by default every ``segment-*.npz``
+        present is taken, in name (= write) order.  Every segment is
+        read and validated up front, so an attach that returns has a
+        fully trustworthy store — a missing, truncated, or corrupt
+        segment raises :class:`ChunkStoreError` naming the file.
+        """
+        directory = Path(directory)
+        if not (directory / _STORE_MANIFEST).exists():
+            raise ChunkStoreError(
+                f"{directory} is not a segment store (no {_STORE_MANIFEST})"
+            )
+        store = cls(directory, n_columns)
+        if segment_names is None:
+            names = sorted(p.name for p in directory.glob("segment-*.npz"))
+        else:
+            names = list(segment_names)
+        for name in names:
+            path = directory / name
+            if not path.exists():
+                raise ChunkStoreError(f"segment {path} is missing")
+            columns = store.read(path)
+            store._paths.append(path)
+            store._n_rows += (
+                len(columns[0]) if columns else int(_read_n_rows(path))
+            )
+        return store
 
     @property
     def n_rows(self) -> int:
@@ -113,6 +251,8 @@ class SegmentStore:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        # the rename itself must survive a hard kill: sync the directory
+        fsync_dir(self.directory)
         self._paths.append(path)
         self._n_rows += n_rows
         return path
@@ -149,13 +289,27 @@ class SegmentStore:
             yield self.read(path)
 
     def delete(self) -> None:
-        """Remove every segment this store wrote; drop the directory if
-        it is empty afterwards (another run's files are left alone)."""
+        """Remove every segment this store wrote (and its manifest
+        stamp); drop the directory if it is empty afterwards (another
+        run's files are left alone)."""
         for path in self._paths:
             path.unlink(missing_ok=True)
         self._paths.clear()
         self._n_rows = 0
+        (self.directory / _STORE_MANIFEST).unlink(missing_ok=True)
         try:
             self.directory.rmdir()
         except OSError:
             pass
+
+
+def _read_n_rows(path: str | os.PathLike) -> int:
+    """The declared row count of one segment (zero-column stores)."""
+    try:
+        with np.load(path, allow_pickle=True) as archive:
+            return int(archive["n_rows"])
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile, pickle.UnpicklingError) as exc:
+        raise ChunkStoreError(
+            f"segment {path} is corrupt or truncated: {exc}"
+        ) from exc

@@ -853,6 +853,15 @@ class ColumnarRelation:
         self._codes = codes
         self._dicts = dicts
 
+    def __getstate__(self):
+        # the trie cache is a per-process acceleration structure built
+        # from codes+dicts on demand; shipping it to a pool worker would
+        # multiply the payload for nothing
+        return (self.attributes, self.n_rows, self._codes, self._dicts)
+
+    def __setstate__(self, state):
+        self.attributes, self.n_rows, self._codes, self._dicts = state
+
     def codes(self, attr: str) -> np.ndarray:
         """The int64 code array of one column."""
         return self._codes[attr]

@@ -130,6 +130,26 @@ class Relation:
         label = self._name or "Relation"
         return f"<{label}({', '.join(self._attributes)}): {len(self)} rows>"
 
+    def __getstate__(self):
+        # Compact transport for process pools: derived caches (hash
+        # indexes, the row set) rebuild on demand in the receiving
+        # process, and when the columnar twin exists it alone carries
+        # the rows (tuples decode lazily on the other side).
+        columnar = self._columnar
+        if isinstance(columnar, ColumnarRelation):
+            return (self._attributes, self._name, None, columnar)
+        return (
+            self._attributes,
+            self._name,
+            self._materialized_rows(),
+            columnar,
+        )
+
+    def __setstate__(self, state):
+        self._attributes, self._name, self._rows, self._columnar = state
+        self._row_set = None
+        self._indexes = {}
+
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ import pytest
 from repro.core import (
     BoundSolver,
     BoundTask,
+    BoundTaskError,
     StatisticsCatalog,
     collect_statistics,
     lp_bound,
@@ -285,3 +286,40 @@ class TestLpBoundMany:
     def test_unknown_executor_rejected(self, pipeline_db):
         with pytest.raises(ValueError, match="unknown executor"):
             lp_bound_many([], executor="gpu")
+
+
+class TestBoundTaskError:
+    """A failing task must be reported with its identity attached."""
+
+    def _tasks(self, pipeline_db):
+        query = E_FAMILY_QUERIES[0][1]
+        stats = collect_statistics(query, pipeline_db, ps=PS)
+        good = BoundTask(stats, query=query)
+        # statistics=None blows up inside the solver on every executor —
+        # a stand-in for any mid-batch solver failure
+        bad = BoundTask(None, query=parse_query("boom(x,y) :- R(x,y)"))
+        return [good, bad, good]
+
+    @pytest.mark.parametrize(
+        "executor, workers",
+        [("serial", None), ("thread", 2), ("process", 2)],
+    )
+    def test_failure_names_task_and_query(
+        self, pipeline_db, executor, workers
+    ):
+        tasks = self._tasks(pipeline_db)
+        with pytest.raises(BoundTaskError) as info:
+            lp_bound_many(tasks, executor=executor, max_workers=workers)
+        err = info.value
+        assert err.index == 1
+        assert err.task is tasks[1]
+        assert "bound task 1" in str(err)
+        assert "'boom'" in str(err)
+        assert err.__cause__ is not None
+
+    def test_anonymous_task_omits_query_name(self, pipeline_db):
+        tasks = [BoundTask(None)]
+        with pytest.raises(BoundTaskError) as info:
+            lp_bound_many(tasks, executor="serial")
+        assert str(info.value).startswith("bound task 0 failed:")
+        assert "query" not in str(info.value)

@@ -1,0 +1,125 @@
+"""Durability and self-description of the spill-to-disk segment store.
+
+PR 6 hardened :class:`~repro.relational.chunkstore.SegmentStore` for use
+as the parallel evaluator's per-part persistence layer: every directory
+is stamped with a ``store.json`` manifest (foreign directories are
+refused instead of interleaving two stores' segments), renames are made
+durable by fsyncing the parent directory, and :meth:`SegmentStore.attach`
+re-opens a stamped directory validating every surviving segment — the
+primitive checkpoint-resume builds on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.relational.chunkstore import (
+    ChunkStoreError,
+    SegmentStore,
+    atomic_write_json,
+    fsync_dir,
+)
+
+
+class TestManifestStamp:
+    def test_new_store_stamps_directory(self, tmp_path):
+        SegmentStore(tmp_path / "s", 3)
+        payload = json.loads((tmp_path / "s" / "store.json").read_text())
+        assert payload == {
+            "format": "repro-segment-store/v1",
+            "n_columns": 3,
+        }
+
+    def test_reopening_same_arity_is_fine(self, tmp_path):
+        SegmentStore(tmp_path, 2)
+        SegmentStore(tmp_path, 2)  # no error: same format, same arity
+
+    def test_foreign_manifest_refused(self, tmp_path):
+        (tmp_path / "store.json").write_text('{"format": "someone-else"}')
+        with pytest.raises(ChunkStoreError, match="foreign store"):
+            SegmentStore(tmp_path, 2)
+
+    def test_unparsable_manifest_refused(self, tmp_path):
+        (tmp_path / "store.json").write_text("not json {{{")
+        with pytest.raises(ChunkStoreError, match="not a segment-store"):
+            SegmentStore(tmp_path, 2)
+
+    def test_arity_mismatch_refused(self, tmp_path):
+        SegmentStore(tmp_path, 2)
+        with pytest.raises(ChunkStoreError, match="declares 2"):
+            SegmentStore(tmp_path, 3)
+
+    def test_delete_removes_stamp_and_directory(self, tmp_path):
+        store = SegmentStore(tmp_path / "s", 1)
+        store.write([np.arange(4)])
+        store.delete()
+        assert not (tmp_path / "s").exists()
+
+
+class TestAttach:
+    def _populated(self, tmp_path, n_segments=3):
+        store = SegmentStore(tmp_path, 2)
+        for i in range(n_segments):
+            store.write(
+                [np.arange(i, i + 5), np.arange(i + 10, i + 15)]
+            )
+        return store
+
+    def test_roundtrip_rows_and_order(self, tmp_path):
+        original = self._populated(tmp_path)
+        attached = SegmentStore.attach(tmp_path, 2)
+        assert attached.n_rows == original.n_rows
+        assert attached.segments() == original.segments()
+        for mine, theirs in zip(
+            attached.iter_chunks(), original.iter_chunks()
+        ):
+            for a, b in zip(mine, theirs):
+                np.testing.assert_array_equal(a, b)
+
+    def test_attach_with_pinned_names(self, tmp_path):
+        original = self._populated(tmp_path)
+        names = [p.name for p in original.segments()][:2]
+        attached = SegmentStore.attach(tmp_path, 2, segment_names=names)
+        assert attached.n_segments == 2
+
+    def test_attach_requires_stamp(self, tmp_path):
+        with pytest.raises(ChunkStoreError, match="not a segment store"):
+            SegmentStore.attach(tmp_path / "nowhere", 2)
+
+    def test_attach_missing_segment(self, tmp_path):
+        self._populated(tmp_path)
+        with pytest.raises(ChunkStoreError, match="missing"):
+            SegmentStore.attach(
+                tmp_path, 2, segment_names=["segment-00000009.npz"]
+            )
+
+    def test_attach_rejects_truncated_segment(self, tmp_path):
+        original = self._populated(tmp_path)
+        victim = original.segments()[-1]
+        size = victim.stat().st_size
+        with open(victim, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(ChunkStoreError, match="corrupt or truncated"):
+            SegmentStore.attach(tmp_path, 2)
+
+    def test_attach_zero_column_store(self, tmp_path):
+        store = SegmentStore(tmp_path, 0)
+        store.write([], n_rows=7)
+        store.write([], n_rows=5)
+        attached = SegmentStore.attach(tmp_path, 0)
+        assert attached.n_rows == 12
+
+
+class TestDurabilityHelpers:
+    def test_atomic_write_json_roundtrip(self, tmp_path):
+        target = tmp_path / "m.json"
+        atomic_write_json(target, {"a": 1})
+        atomic_write_json(target, {"a": 2, "b": [3]})
+        assert json.loads(target.read_text()) == {"a": 2, "b": [3]}
+        # no tmp sibling survives the replace
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_fsync_dir_tolerates_any_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+        fsync_dir(tmp_path / "missing")  # nor for absent paths

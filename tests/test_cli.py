@@ -91,6 +91,54 @@ class TestCommands:
         # subdirectory (and its segments) is gone again
         assert list(tmp_path.iterdir()) == []
 
+    def test_parallel_workers_rejected_where_unsupported(self, capsys):
+        assert main(["experiment", "E7", "--parallel-workers", "2"]) == 2
+        assert "--parallel-workers" in capsys.readouterr().err
+
+    def test_parallel_workers_rejects_non_positive(self, capsys):
+        assert main(["experiment", "E8", "--parallel-workers", "0"]) == 2
+        assert "must be ≥ 1" in capsys.readouterr().err
+
+    def test_supervision_flags_require_parallel_workers(self, capsys):
+        assert main(["experiment", "E8", "--retries", "3"]) == 2
+        assert "--parallel-workers" in capsys.readouterr().err
+        assert main(["experiment", "E8", "--part-timeout", "5"]) == 2
+        assert "--parallel-workers" in capsys.readouterr().err
+
+    def test_inject_faults_rejects_bad_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "E8",
+                    "--parallel-workers",
+                    "2",
+                    "--inject-faults",
+                    "part=3:meltdown",
+                ]
+            )
+            == 2
+        )
+        assert "--inject-faults" in capsys.readouterr().err
+
+    def test_star_experiment_parallel_workers(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "E14",
+                    "--parallel-workers",
+                    "2",
+                    "--retries",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parallel[2]" in out
+        assert "NO" not in out  # every parallel run verified vs serial
+
     def test_bound_over_csv(self, tmp_path, capsys):
         csv_path = tmp_path / "edges.csv"
         csv_path.write_text("x,y\n1,2\n2,3\n3,1\n2,1\n3,2\n1,3\n")
