@@ -57,6 +57,11 @@ TOLERANCES = {
     # top of the measured work, so they get extra slack before gating.
     "benchmarks/bench_evaluation.py::test_bench_parallel_triangle": 2.5,
     "benchmarks/bench_star.py::test_bench_star_parallel": 2.5,
+    # the compiled-kernel entries measure post-warm-up medians, but a
+    # cold Numba cache (cache key miss after a kernels.py edit) leaks
+    # residual compilation into early rounds on slow runners.
+    "benchmarks/bench_evaluation.py::test_bench_wcoj_triangle_kernels": 2.0,
+    "benchmarks/bench_evaluation.py::test_bench_wcoj_loomis_whitney_kernels": 2.0,
 }
 
 #: Per-benchmark peak-memory tolerance overrides (ratio of peak_kb).
@@ -81,9 +86,13 @@ def normalize(raw_path: str, sha: str) -> dict:
             "median_s": bench["stats"]["median"],
             "rounds": bench["stats"]["rounds"],
         }
-        peak = bench.get("extra_info", {}).get("peak_traced_kb")
+        extra = bench.get("extra_info", {})
+        peak = extra.get("peak_traced_kb")
         if peak is not None:
             entry["peak_kb"] = peak
+        kernel_mode = extra.get("kernel_mode")
+        if kernel_mode is not None:
+            entry["kernel_mode"] = kernel_mode
         medians[bench["fullname"]] = entry
     if CALIBRATION not in medians:
         raise SystemExit(
@@ -117,6 +126,12 @@ def compare(
     a single-sample median is too noisy to gate on.  The peak-memory
     series has no such escape hatch: traced allocation is deterministic,
     so one sample is the measurement.
+
+    The sweep never stops early: every tracked series is checked even
+    after a regression or a malformed entry (missing keys, zero
+    calibration), and the job fails with *one* consolidated message
+    naming every offender — a kernel regression across N benchmarks is
+    diagnosable from a single CI run instead of N fix-rerun cycles.
     """
     with open(current_path) as handle:
         current = json.load(handle)
@@ -131,41 +146,65 @@ def compare(
         if entry is None:
             print(f"  [gone]    {name}")
             continue
-        ratio = entry["normalized"] / base["normalized"]
         allowed = TOLERANCES.get(name, tolerance)
+        try:
+            ratio = entry["normalized"] / base["normalized"]
+            median_ms = entry["median_s"] * 1e3
+            rounds = min(entry["rounds"], base["rounds"])
+        except (KeyError, TypeError, ZeroDivisionError) as exc:
+            # a malformed entry must not abort the sweep: record it as a
+            # failure and keep checking the remaining series
+            failures.append((name, "time", None, allowed))
+            print(f"  [bad]     {name}: unusable entry "
+                  f"({type(exc).__name__}: {exc})")
+            continue
         flag = "  OK      "
-        if min(entry["rounds"], base["rounds"]) < min_rounds:
+        if rounds < min_rounds:
             flag = "  [info]   "
         elif ratio > allowed:
             flag = "  REGRESS "
-            failures.append((name, "time", ratio))
-        print(f"{flag}{name}: {entry['median_s'] * 1e3:.3f} ms "
-              f"({ratio:.2f}x of baseline)")
+            failures.append((name, "time", ratio, allowed))
+        mode = entry.get("kernel_mode")
+        suffix = f" [kernels={mode}]" if mode else ""
+        print(f"{flag}{name}: {median_ms:.3f} ms "
+              f"({ratio:.2f}x of baseline){suffix}")
     print("\npeak traced allocation:")
     tracked_mem = False
     for name, base in sorted(baseline["benchmarks"].items()):
         entry = current["benchmarks"].get(name, {})
         base_peak = base.get("peak_kb")
         peak = entry.get("peak_kb")
-        if base_peak is None or peak is None or base_peak <= 0:
+        if base_peak is None or peak is None:
+            continue
+        allowed = MEM_TOLERANCES.get(name, mem_tolerance)
+        try:
+            if base_peak <= 0:
+                continue
+            ratio = peak / base_peak
+        except (TypeError, ZeroDivisionError) as exc:
+            failures.append((name, "memory", None, allowed))
+            print(f"  [bad]     {name}: unusable peak entry "
+                  f"({type(exc).__name__}: {exc})")
             continue
         tracked_mem = True
-        ratio = peak / base_peak
-        allowed = MEM_TOLERANCES.get(name, mem_tolerance)
         flag = "  OK      "
         if ratio > allowed:
             flag = "  REGRESS "
-            failures.append((name, "memory", ratio))
+            failures.append((name, "memory", ratio, allowed))
         print(f"{flag}{name}: {peak:.1f} kB ({ratio:.2f}x of baseline)")
     if not tracked_mem:
         print("  (no benchmark records peak_traced_kb on both sides)")
     for name in sorted(set(current["benchmarks"]) - set(baseline["benchmarks"])):
-        print(f"  [new]     {name}: "
-              f"{current['benchmarks'][name]['median_s'] * 1e3:.3f} ms")
+        entry = current["benchmarks"][name]
+        median = entry.get("median_s")
+        shown = f"{median * 1e3:.3f} ms" if median is not None else "no median"
+        print(f"  [new]     {name}: {shown}")
     if failures:
-        print(f"\n{len(failures)} series regressed beyond tolerance:")
-        for name, series, ratio in failures:
-            print(f"  {name} [{series}]: {ratio:.2f}x")
+        print(f"\n{len(failures)} series regressed beyond tolerance "
+              "(all regressions listed; none masked by an earlier one):")
+        for name, series, ratio, allowed in failures:
+            shown = f"{ratio:.2f}x" if ratio is not None else "malformed entry"
+            print(f"  {name} [{series}]: {shown} (allowed {allowed:.2f}x)")
         return 1
     print("\nno regressions")
     return 0

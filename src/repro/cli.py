@@ -129,6 +129,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if module_name not in EXPERIMENTS.values():
         print(f"unknown experiment {args.id!r}; try `list`", file=sys.stderr)
         return 2
+    if args.kernels is not None:
+        from .relational import kernels as _kernels
+
+        try:
+            _kernels.set_mode(args.kernels)
+        except _kernels.KernelUnavailableError as exc:
+            print(f"--kernels: {exc}", file=sys.stderr)
+            return 2
     import importlib
     import inspect
 
@@ -273,6 +281,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the WCOJ's live frontier at N candidate bindings per "
         "level (experiments that evaluate queries, e.g. E14); results "
         "are bit-identical to the unblocked run",
+    )
+    experiment.add_argument(
+        "--kernels",
+        choices=("auto", "numba", "python"),
+        default=None,
+        help="trie-kernel implementation for the evaluators: 'numba' "
+        "requires the compiled kernels (install repro[kernels]), "
+        "'python' forces the NumPy oracle path, 'auto' (the default) "
+        "uses the compiled kernels when available; outputs are "
+        "bit-identical across modes",
     )
     experiment.add_argument(
         "--sink",

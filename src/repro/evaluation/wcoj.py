@@ -61,13 +61,14 @@ import numpy as np
 
 from ..query.query import Atom, ConjunctiveQuery
 from ..relational import Database, Relation
+from ..relational import kernels
 from ..relational.columnar import (
     ChunkedColumns,
     CodeTrie,
     ColumnarRelation,
     CountSink,
     OutputSink,
-    remap_codes,
+    dict_mapping,
 )
 from .joins import _atom_table
 
@@ -328,9 +329,9 @@ def _generic_join_columnar(
 
     Each atom's trie lives in its own relation's code space (so tries are
     cacheable per relation and column order); candidate codes cross atom
-    boundaries through :func:`remap_codes` over the small per-column
-    dictionaries, with values absent from the target dictionary mapping
-    to −1 and failing membership.
+    boundaries through :func:`dict_mapping` translation tables built once
+    at setup over the small per-column dictionaries, with values absent
+    from the target dictionary mapping to −1 and failing membership.
     """
     order_index = {v: i for i, v in enumerate(order)}
     tables = [_atom_table(atom, db) for atom in query.atoms]
@@ -383,6 +384,36 @@ def _generic_join_columnar(
             canon_of.append(dict_of[canon_idx][canon_depth])
         else:
             canon_of.append(None)
+
+    # per level, per seed participant: the seed→other code-translation
+    # tables the membership filter consumes (None ⇒ shared dictionary,
+    # codes pass through) and the seed→canonical table for survivors.
+    # Hoisted to setup: the blocked traversal re-enters expand_slice once
+    # per slice, and rebuilding these per slice is pure repeated work —
+    # the tables depend only on the (level, seed, other) dictionaries.
+    member_maps: list[list[list[np.ndarray | None]]] = []
+    canon_maps: list[list[np.ndarray | None]] = []
+    for level, level_parts in enumerate(atoms_at):
+        canon_dict = canon_of[level]
+        per_seed_members: list[list[np.ndarray | None]] = []
+        per_seed_canon: list[np.ndarray | None] = []
+        for seed_idx, seed_depth in level_parts:
+            seed_dict = dict_of[seed_idx][seed_depth]
+            per_seed_members.append(
+                [
+                    None
+                    if dict_of[atom_idx][depth] is seed_dict
+                    else dict_mapping(seed_dict, dict_of[atom_idx][depth])
+                    for atom_idx, depth in level_parts
+                ]
+            )
+            per_seed_canon.append(
+                None
+                if seed_dict is canon_dict
+                else dict_mapping(seed_dict, canon_dict)
+            )
+        member_maps.append(per_seed_members)
+        canon_maps.append(per_seed_canon)
 
     if sink is None:
         acc = ChunkedColumns(n)
@@ -438,7 +469,6 @@ def _generic_join_columnar(
         if total == 0:
             return
         flat_starts = ends - seed_counts
-        canon_dict = canon_of[level]
         # node ids are only carried for atoms still constraining deeper
         # levels; a participant whose last level is this one is done.
         carried = [i for i, _ in participants if last_level[i] > level]
@@ -461,9 +491,9 @@ def _generic_join_columnar(
                     flat_starts, seed_counts
                 )
             else:
-                flat = np.arange(lo, hi)
-                parent_of = np.searchsorted(ends, flat, side="right")
-                offsets = flat - flat_starts[parent_of]
+                parent_of, offsets = kernels.slice_parents(
+                    ends, flat_starts, lo, hi
+                )
             m = hi - lo
             candidates = np.empty(m, dtype=np.int64)
             keep = np.ones(m, dtype=bool)
@@ -484,32 +514,32 @@ def _generic_join_columnar(
                     first[sel_parents],
                     sel_offsets,
                 )
-                seed_dict = dict_of[seed_idx][seed_depth]
                 if seed_idx in chunk_nodes:
                     chunk_nodes[seed_idx][sel] = children
                 keep_s = None
-                for atom_idx, depth in participants:
+                seed_members = member_maps[level][s]
+                for t, (atom_idx, depth) in enumerate(participants):
                     if atom_idx == seed_idx:
                         continue
-                    own_dict = dict_of[atom_idx][depth]
-                    if own_dict is seed_dict:
-                        aligned = codes
-                    else:
-                        aligned = remap_codes(codes, seed_dict, own_dict)
+                    # the translation table re-expresses the seed's codes
+                    # in this atom's code space inside the membership
+                    # kernel (−1 ⇒ absent from its dictionary ⇒ fail)
                     found, others = tries[atom_idx].find_children(
-                        depth, atom_node[atom_idx][sel_parents], aligned
+                        depth,
+                        atom_node[atom_idx][sel_parents],
+                        codes,
+                        mapping=seed_members[t],
                     )
-                    if aligned is not codes:
-                        found &= aligned >= 0
                     if atom_idx in chunk_nodes:
                         chunk_nodes[atom_idx][sel] = others
                     keep_s = found if keep_s is None else keep_s & found
-                if seed_dict is not canon_dict:
+                canon_map = canon_maps[level][s]
+                if canon_map is not None:
                     # survivors pass membership in the canonical
                     # participant, whose dictionary therefore contains
                     # them (lossless); non-survivors map to −1 but are
                     # dropped by ``keep`` anyway.
-                    codes = remap_codes(codes, seed_dict, canon_dict)
+                    codes = canon_map[codes]
                 candidates[sel] = codes
                 if keep_s is not None:
                     keep[sel] = keep_s

@@ -5,6 +5,7 @@ engine in :mod:`repro.relational.columnar`; relations over arbitrary
 hashable values transparently use the original tuple paths.
 """
 
+from . import kernels
 from .columnar import (
     ColumnarRelation,
     CountSink,
@@ -25,4 +26,5 @@ __all__ = [
     "CountSink",
     "GroupCountSink",
     "SpillSink",
+    "kernels",
 ]

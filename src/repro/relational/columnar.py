@@ -38,6 +38,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from . import kernels
+
 __all__ = [
     "ColumnarRelation",
     "CodeTrie",
@@ -48,6 +50,7 @@ __all__ = [
     "GroupCountSink",
     "SpillSink",
     "align_composite_keys",
+    "dict_mapping",
     "encode_column",
     "encode_rows",
     "remap_codes",
@@ -110,6 +113,26 @@ def encode_rows(
     return ColumnarRelation(attrs, codes, dicts, n)
 
 
+def dict_mapping(
+    source_dict: np.ndarray, target_dict: np.ndarray
+) -> np.ndarray:
+    """Code-to-code translation table between two sorted dictionaries.
+
+    ``mapping[source_code]`` is the target code of the same value, or −1
+    when the value is absent from ``target_dict``.  One ``searchsorted``
+    over the (small) dictionaries; hoistable out of per-slice loops so a
+    blocked traversal pays the table once per level instead of once per
+    slice, and the table the fused membership kernel
+    (:func:`repro.relational.kernels.find_children`) consumes directly.
+    """
+    if len(target_dict) == 0:
+        return np.full(len(source_dict), -1, dtype=np.int64)
+    pos = np.searchsorted(target_dict, source_dict)
+    pos_clipped = np.minimum(pos, len(target_dict) - 1)
+    valid = target_dict[pos_clipped] == source_dict
+    return np.where(valid, pos_clipped, np.int64(-1))
+
+
 def remap_codes(
     codes: np.ndarray, source_dict: np.ndarray, target_dict: np.ndarray
 ) -> np.ndarray:
@@ -121,11 +144,7 @@ def remap_codes(
     """
     if len(target_dict) == 0:
         return np.full(len(codes), -1, dtype=np.int64)
-    pos = np.searchsorted(target_dict, source_dict)
-    pos_clipped = np.minimum(pos, len(target_dict) - 1)
-    valid = target_dict[pos_clipped] == source_dict
-    mapping = np.where(valid, pos_clipped, np.int64(-1))
-    return mapping[codes]
+    return dict_mapping(source_dict, target_dict)[codes]
 
 
 def composite_codes(
@@ -169,18 +188,16 @@ def mixed_radix_keys(
     counting kernels need to match keys *across* relations.  Returns
     ``None`` when the radix product would overflow ``int64`` (callers fall
     back to the tuple path).
+
+    Dispatches through :func:`repro.relational.kernels.composite_keys`:
+    under the Numba kernel mode, keys whose dictionaries fit the packing
+    budget are *bit-packed* (shift/or into one ``int64``) instead of
+    arithmetically accumulated.  Key order and equality — everything the
+    sort/membership/fold consumers observe — are identical either way;
+    both sides of any cross-relation match are built with the same
+    ``cardinalities``, hence the same scheme.
     """
-    radix = 1
-    for card in cardinalities:
-        radix *= max(1, int(card))
-        if radix >= _MAX_RADIX:  # pragma: no cover - astronomically wide
-            return None
-    if not code_arrays:
-        return _EMPTY_CODES
-    keys = code_arrays[0]
-    for codes, card in zip(code_arrays[1:], cardinalities[1:]):
-        keys = keys * max(1, int(card)) + codes
-    return keys
+    return kernels.composite_keys(code_arrays, cardinalities)
 
 
 def prefix_run_counts(
@@ -755,9 +772,7 @@ class CodeTrie:
         if len(self.level_keys[depth]) == 0:
             zeros = np.zeros(len(nodes), dtype=np.int64)
             return zeros, zeros
-        starts = self._child_starts(depth)
-        first = starts[nodes]
-        return first, starts[nodes + 1] - first
+        return kernels.gather_ranges(self._child_starts(depth), nodes)
 
     def expand_children(
         self,
@@ -809,25 +824,27 @@ class CodeTrie:
 
         Returns ``(child_node_ids, child_codes)``.
         """
-        positions = first + offsets
-        codes = self.level_keys[depth][positions] - nodes * self.cards[depth]
-        return positions, codes
+        return kernels.children_at(
+            self.level_keys[depth], nodes, first, offsets, self.cards[depth]
+        )
 
     def find_children(
-        self, depth: int, nodes: np.ndarray, codes: np.ndarray
+        self,
+        depth: int,
+        nodes: np.ndarray,
+        codes: np.ndarray,
+        mapping: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized membership: does node ``i`` have child ``codes[i]``?
 
+        ``mapping`` optionally re-expresses the codes in this trie's code
+        space first (a :func:`dict_mapping` table; −1 ⇒ absent, the
+        candidate fails) — fused with the search under the Numba kernels.
         Returns ``(found_mask, child_node_ids)`` (ids valid where found).
         """
-        keys = self.level_keys[depth]
-        if len(keys) == 0:
-            zeros = np.zeros(len(nodes), dtype=np.int64)
-            return np.zeros(len(nodes), dtype=bool), zeros
-        target = nodes * self.cards[depth] + codes
-        positions = np.searchsorted(keys, target, side="left")
-        clipped = np.minimum(positions, len(keys) - 1)
-        return keys[clipped] == target, clipped
+        return kernels.find_children(
+            self.level_keys[depth], nodes, codes, self.cards[depth], mapping
+        )
 
 
 class ColumnarRelation:
