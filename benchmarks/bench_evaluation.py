@@ -135,6 +135,54 @@ def test_wcoj_speedup_guard(db):
         )
 
 
+def test_governor_overhead_guard(db):
+    """Perf guard: an idle governor costs ≤5% on the triangle workload.
+
+    Governance samples memory once per frontier slice, never per row —
+    with watermarks far away the governed run does exactly the
+    ungoverned run's work plus one probe and a few comparisons per
+    checkpoint.  Measured as interleaved best-of-5 (min-of-N strips
+    scheduler noise; interleaving strips thermal drift), with a small
+    absolute epsilon so a sub-millisecond blip on a contended runner
+    cannot flip the guard.
+    """
+    from repro.evaluation import EvaluationBudget, EvaluationGovernor
+
+    block = 8192
+    budget = EvaluationBudget(
+        soft_memory_bytes=1 << 33, hard_memory_bytes=1 << 34
+    )
+
+    def governed():
+        return generic_join(
+            TRIANGLE,
+            db,
+            frontier_block=block,
+            governor=EvaluationGovernor(budget),
+        )
+
+    def ungoverned():
+        return generic_join(TRIANGLE, db, frontier_block=block)
+
+    reference = ungoverned()  # warm tries
+    check = governed()
+    assert list(check.output) == list(reference.output)
+    assert check.nodes_visited == reference.nodes_visited
+    best_governed = math.inf
+    best_ungoverned = math.inf
+    for _ in range(5):
+        start = time.perf_counter()
+        ungoverned()
+        best_ungoverned = min(best_ungoverned, time.perf_counter() - start)
+        start = time.perf_counter()
+        governed()
+        best_governed = min(best_governed, time.perf_counter() - start)
+    assert best_governed <= 1.05 * best_ungoverned + 2e-3, (
+        f"governor overhead exceeded 5%: governed {best_governed * 1e3:.2f}ms "
+        f"vs ungoverned {best_ungoverned * 1e3:.2f}ms"
+    )
+
+
 @needs_numba
 def test_bench_wcoj_triangle_kernels(benchmark, traced_peak, db):
     """Triangle counting through the compiled Numba trie kernels.

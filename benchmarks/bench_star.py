@@ -21,7 +21,13 @@ import math
 
 from repro.core import collect_statistics, lp_bound
 from repro.datasets import star_database, star_query
-from repro.evaluation import evaluate_parallel, generic_join
+from repro.evaluation import (
+    EscalatingSink,
+    EvaluationBudget,
+    EvaluationGovernor,
+    evaluate_parallel,
+    generic_join,
+)
 from repro.relational import CountSink, SpillSink
 
 import pytest
@@ -128,6 +134,67 @@ def test_bench_star_parallel(benchmark, star_db):
 
     run = benchmark(run_parallel)
     assert run.count == FAN_OUT
+
+
+def test_bench_star_governed(benchmark, traced_peak, star_db):
+    """The blocked run under an ample resource budget.
+
+    Tracks what governance itself costs on the star workload: one memory
+    probe per frontier slice, no degradation (the watermarks are far
+    away).  Wall time and peak feed the same trajectory series as the
+    ungoverned blocked entry, so a creeping checkpoint cost shows up as
+    a divergence between the two.
+    """
+
+    def run_governed():
+        governor = EvaluationGovernor(
+            EvaluationBudget(
+                soft_memory_bytes=1 << 33, hard_memory_bytes=1 << 34
+            )
+        )
+        return generic_join(
+            QUERY,
+            star_db,
+            frontier_block=FRONTIER_BLOCK,
+            governor=governor,
+        )
+
+    _, peak = traced_peak(run_governed)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
+    run = benchmark(run_governed)
+    assert run.count == FAN_OUT
+
+
+def test_bench_star_governed_ladder(benchmark, traced_peak, star_db, tmp_path):
+    """A governed run that *does* degrade: tight soft watermark, an
+    escalating sink, and a hard cap high enough to finish.  Measures the
+    full ladder walk (block halvings + mid-run materialize→spill) on
+    every round; the output must stay bit-identical to the ungoverned
+    engine's.
+    """
+    reference = generic_join(QUERY, star_db, frontier_block=FRONTIER_BLOCK)
+    budget = EvaluationBudget(
+        soft_memory_bytes=128 << 10,
+        hard_memory_bytes=64 << 20,
+        min_frontier_block=1024,
+    )
+
+    def run_laddered():
+        governor = EvaluationGovernor(budget)
+        with EscalatingSink(tmp_path / "esc", chunk_rows=4096) as sink:
+            run = generic_join(QUERY, star_db, sink=sink, governor=governor)
+            assert sink.n_rows == FAN_OUT
+        return run
+
+    governor = EvaluationGovernor(budget)
+    with EscalatingSink(tmp_path / "verify", chunk_rows=4096) as sink:
+        verified = generic_join(QUERY, star_db, sink=sink, governor=governor)
+        assert sink.rows() == list(reference.output)
+        assert verified.nodes_visited == reference.nodes_visited
+    _, peak = traced_peak(run_laddered)
+    benchmark.extra_info["peak_traced_kb"] = round(peak / 1024, 1)
+    run = benchmark(run_laddered)
+    assert run.nodes_visited == reference.nodes_visited
 
 
 def test_star_memory_guard(traced_peak, star_db):

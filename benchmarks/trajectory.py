@@ -73,6 +73,11 @@ TOLERANCES = {
 MEM_TOLERANCES: dict[str, float] = {
     "benchmarks/bench_star.py::test_bench_star_count_sink": 2.0,
     "benchmarks/bench_star.py::test_bench_star_spill_sink": 2.0,
+    # the governed entries also peak near 1 MB of block × depth scratch
+    # (the idle-governor entry) or deliberately shed memory mid-run (the
+    # ladder entry escalates to disk), so allocator rounding dominates.
+    "benchmarks/bench_star.py::test_bench_star_governed": 2.0,
+    "benchmarks/bench_star.py::test_bench_star_governed_ladder": 2.0,
 }
 
 

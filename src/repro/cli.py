@@ -176,6 +176,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 )
                 return 2
             kwargs["spill_dir"] = args.spill_dir
+    governance = {
+        "memory_budget": args.memory_budget,
+        "deadline": args.deadline,
+    }
+    governance_given = {
+        k: v for k, v in governance.items() if v is not None
+    }
+    if governance_given:
+        # fail fast on a malformed budget spec, before any evaluation
+        from .evaluation import budget_from_spec
+
+        try:
+            budget_from_spec(
+                memory=args.memory_budget, deadline=args.deadline
+            )
+        except ValueError as exc:
+            print(f"--memory-budget/--deadline: {exc}", file=sys.stderr)
+            return 2
+        for name, value in governance_given.items():
+            if name not in params:
+                flag = "--" + name.replace("_", "-")
+                print(
+                    f"experiment {key} does not take {flag}",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs[name] = value
     supervised = {
         "part_timeout": args.part_timeout,
         "retries": args.retries,
@@ -225,7 +252,65 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 )
                 return 2
             kwargs[name] = value
-    print(module.main(**kwargs))
+    return _run_experiment_main(module, params, kwargs)
+
+
+def _run_experiment_main(module, params, kwargs) -> int:
+    """Invoke one experiment's ``main`` under governance plumbing.
+
+    Experiments whose ``main`` accepts a ``cancel_token`` get one wired
+    to SIGINT/SIGTERM: the first signal requests a cooperative cancel
+    (the evaluators stop at the next block boundary, flushing any
+    checkpoint manifest), a second one falls through to the normal
+    KeyboardInterrupt.  Governance stops map to distinct exit codes —
+    130 cancelled, 124 deadline, 125 memory — with the diagnostic
+    snapshot (and a ``--resume`` hint when a checkpoint survives) on
+    stderr instead of a traceback.
+    """
+    import signal
+
+    from .evaluation import (
+        CancellationToken,
+        EvaluationCancelled,
+        EvaluationDeadlineExceeded,
+        ResourceGovernanceError,
+    )
+
+    token = None
+    previous: dict[int, object] = {}
+    if "cancel_token" in params:
+        token = CancellationToken()
+        kwargs["cancel_token"] = token
+
+        def _request_cancel(signum, frame):
+            if token.cancelled:  # second signal: stop being graceful
+                raise KeyboardInterrupt
+            token.cancel()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _request_cancel)
+            except (ValueError, OSError):  # pragma: no cover - not main thread
+                pass
+    try:
+        print(module.main(**kwargs))
+    except ResourceGovernanceError as exc:
+        snapshot = exc.snapshot
+        print(f"evaluation stopped: {snapshot.describe()}", file=sys.stderr)
+        if snapshot.run_dir:
+            print(
+                f"checkpoint kept: re-run with --resume {snapshot.run_dir} "
+                "to continue from the completed parts",
+                file=sys.stderr,
+            )
+        if isinstance(exc, EvaluationCancelled):
+            return 130
+        if isinstance(exc, EvaluationDeadlineExceeded):
+            return 124
+        return 125  # MemoryBudgetExceeded
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     return 0
 
 
@@ -345,13 +430,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel-workers)",
     )
     experiment.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="SPEC",
+        help="memory budget for governed evaluation (experiments that "
+        "evaluate queries, e.g. E14): 'HARD' or 'SOFT:HARD' with K/M/G "
+        "suffixes (256M, 128M:512M); crossing the soft watermark walks "
+        "a degradation ladder (smaller frontier blocks, then spilling) "
+        "without changing results; reaching the hard cap aborts with a "
+        "diagnostic snapshot and exit code 125",
+    )
+    experiment.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the experiment's evaluations; "
+        "checked cooperatively at block boundaries, exceeded deadlines "
+        "abort with a diagnostic and exit code 124; with "
+        "--parallel-workers the remaining time is apportioned to each "
+        "part",
+    )
+    experiment.add_argument(
         "--inject-faults",
         default=None,
         metavar="SPEC",
         help="chaos mode: deterministic fault plan for the parallel "
         "workers, e.g. 'part=3:hang,part=5:exit' or "
-        "'seed=7,rate=0.3,kinds=raise+exit' (requires "
-        "--parallel-workers)",
+        "'seed=7,rate=0.3,kinds=raise+exit'; kinds 'memory' and "
+        "'clock' bias the workers' governors (pair with "
+        "--memory-budget/--deadline) (requires --parallel-workers)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

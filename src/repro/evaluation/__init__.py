@@ -2,6 +2,19 @@
 
 from .acyclic_count import acyclic_count, acyclic_count_tuples, join_tree
 from .faults import FaultCommand, FaultInjector, InjectedFault, parse_fault_spec
+from .governor import (
+    CancellationToken,
+    EscalatingSink,
+    EvaluationBudget,
+    EvaluationCancelled,
+    EvaluationDeadlineExceeded,
+    EvaluationGovernor,
+    GovernorSnapshot,
+    MemoryBudgetExceeded,
+    ResourceGovernanceError,
+    budget_from_spec,
+    parse_memory_size,
+)
 from .joins import evaluate_left_deep, hash_join
 from .lp_join import (
     PartitionedRun,
@@ -55,4 +68,15 @@ __all__ = [
     "parse_fault_spec",
     "semijoin_reduce",
     "semijoin_reduce_tuples",
+    "EvaluationBudget",
+    "EvaluationGovernor",
+    "GovernorSnapshot",
+    "CancellationToken",
+    "EscalatingSink",
+    "ResourceGovernanceError",
+    "MemoryBudgetExceeded",
+    "EvaluationDeadlineExceeded",
+    "EvaluationCancelled",
+    "budget_from_spec",
+    "parse_memory_size",
 ]

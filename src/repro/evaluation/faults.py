@@ -33,6 +33,19 @@ Fault kinds
     read-back validation must reject the attempt instead of merging
     garbage.  (For count-only parts there is no segment to damage, so
     the command degrades to ``raise`` — the attempt still fails.)
+``memory``
+    Simulated memory pressure: the worker's
+    :class:`~repro.evaluation.governor.EvaluationGovernor` is biased by
+    ``memory_bias_bytes`` before evaluation, so every checkpoint sees
+    that much extra usage — driving the degradation ladder (and, for an
+    undersized cap, :class:`MemoryBudgetExceeded`) without allocating a
+    byte.  Ungoverned attempts (no budget shipped) raise
+    :class:`InjectedFault` instead, keeping the plan observable.
+``clock``
+    Simulated clock skew: the governor's clock is biased forward by
+    ``clock_skew_seconds``, so deadline checks fire as if that much
+    wall time had passed.  Ungoverned attempts raise
+    :class:`InjectedFault`.
 """
 
 from __future__ import annotations
@@ -45,13 +58,17 @@ from typing import Mapping
 
 __all__ = [
     "FAULT_KINDS",
+    "GOVERNOR_KINDS",
     "FaultCommand",
     "FaultInjector",
     "InjectedFault",
     "parse_fault_spec",
 ]
 
-FAULT_KINDS = ("raise", "hang", "exit", "corrupt")
+FAULT_KINDS = ("raise", "hang", "exit", "corrupt", "memory", "clock")
+
+#: Kinds that act through a shipped budget's governor, not directly.
+GOVERNOR_KINDS = ("memory", "clock")
 
 
 class InjectedFault(RuntimeError):
@@ -67,6 +84,8 @@ class FaultCommand:
     attempt: int
     hang_seconds: float = 3600.0
     exit_code: int = 13
+    memory_bias_bytes: int = 1 << 40
+    clock_skew_seconds: float = 3600.0
 
     def trigger_before_evaluation(self) -> None:
         """Fire the pre-evaluation kinds inside the worker process."""
@@ -79,6 +98,27 @@ class FaultCommand:
             time.sleep(self.hang_seconds)
         elif self.kind == "exit":
             os._exit(self.exit_code)
+
+    def governor_bias(self) -> tuple[int, float]:
+        """``(memory_bytes, clock_seconds)`` to bias a governor by."""
+        if self.kind == "memory":
+            return self.memory_bias_bytes, 0.0
+        if self.kind == "clock":
+            return 0, self.clock_skew_seconds
+        return 0, 0.0
+
+    def require_governor(self) -> None:
+        """Fail an ungoverned attempt that drew a governor-acting kind.
+
+        Without a budget there is no governor to bias, and silently
+        skipping the fault would make the plan unobservable — the same
+        contract as ``corrupt`` with no segment to damage.
+        """
+        if self.kind in GOVERNOR_KINDS:
+            raise InjectedFault(
+                f"injected {self.kind} for part {self.part_index} "
+                f"attempt {self.attempt}: no budget to pressure"
+            )
 
     def trigger_after_spill(self, segment_paths) -> None:
         """Fire the post-evaluation kinds (segment corruption)."""
@@ -109,6 +149,8 @@ class FaultInjector:
         self,
         plan: Mapping[tuple[int, int], str] | None = None,
         hang_seconds: float = 3600.0,
+        memory_bias_bytes: int = 1 << 40,
+        clock_skew_seconds: float = 3600.0,
     ) -> None:
         self.plan: dict[tuple[int, int], str] = {}
         for key, kind in (plan or {}).items():
@@ -118,6 +160,8 @@ class FaultInjector:
                 )
             self.plan[(int(key[0]), int(key[1]))] = kind
         self.hang_seconds = float(hang_seconds)
+        self.memory_bias_bytes = int(memory_bias_bytes)
+        self.clock_skew_seconds = float(clock_skew_seconds)
 
     @classmethod
     def from_seed(
@@ -128,6 +172,8 @@ class FaultInjector:
         kinds: tuple[str, ...] = FAULT_KINDS,
         attempts: int = 1,
         hang_seconds: float = 3600.0,
+        memory_bias_bytes: int = 1 << 40,
+        clock_skew_seconds: float = 3600.0,
     ) -> "FaultInjector":
         """Derive a plan from one seed: each part independently draws
         whether its first ``attempts`` attempts fail, and how.
@@ -151,7 +197,12 @@ class FaultInjector:
                 kind = kinds[rng.randrange(len(kinds))]
                 for attempt in range(attempts):
                     plan[(part, attempt)] = kind
-        return cls(plan, hang_seconds=hang_seconds)
+        return cls(
+            plan,
+            hang_seconds=hang_seconds,
+            memory_bias_bytes=memory_bias_bytes,
+            clock_skew_seconds=clock_skew_seconds,
+        )
 
     def resolve(self, n_parts: int) -> "FaultInjector":
         """Bind the plan to a run's part count (no-op for explicit plans;
@@ -170,6 +221,8 @@ class FaultInjector:
             part_index=part_index,
             attempt=attempt,
             hang_seconds=self.hang_seconds,
+            memory_bias_bytes=self.memory_bias_bytes,
+            clock_skew_seconds=self.clock_skew_seconds,
         )
 
     def __len__(self) -> int:
@@ -200,6 +253,8 @@ def parse_fault_spec(text: str) -> FaultInjector:
     seeded: dict[str, float] = {}
     kinds: tuple[str, ...] = FAULT_KINDS
     hang_seconds = 3600.0
+    memory_bias_bytes = 1 << 40
+    clock_skew_seconds = 3600.0
     for field in text.split(","):
         field = field.strip()
         if not field:
@@ -227,6 +282,12 @@ def parse_fault_spec(text: str) -> FaultInjector:
             kinds = tuple(value.split("+"))
         elif key == "hang":
             hang_seconds = float(value)
+        elif key == "bias":
+            from .governor import parse_memory_size
+
+            memory_bias_bytes = parse_memory_size(value)
+        elif key == "skew":
+            clock_skew_seconds = float(value)
         else:
             raise ValueError(f"unknown fault spec field {key!r}")
     if plan and seeded:
@@ -240,8 +301,15 @@ def parse_fault_spec(text: str) -> FaultInjector:
             kinds=kinds,
             attempts=int(seeded.get("attempts", 1)),
             hang_seconds=hang_seconds,
+            memory_bias_bytes=memory_bias_bytes,
+            clock_skew_seconds=clock_skew_seconds,
         )
-    return FaultInjector(plan, hang_seconds=hang_seconds)
+    return FaultInjector(
+        plan,
+        hang_seconds=hang_seconds,
+        memory_bias_bytes=memory_bias_bytes,
+        clock_skew_seconds=clock_skew_seconds,
+    )
 
 
 class _SeededSpec(FaultInjector):
@@ -259,8 +327,15 @@ class _SeededSpec(FaultInjector):
         kinds: tuple[str, ...],
         attempts: int,
         hang_seconds: float,
+        memory_bias_bytes: int = 1 << 40,
+        clock_skew_seconds: float = 3600.0,
     ) -> None:
-        super().__init__({}, hang_seconds=hang_seconds)
+        super().__init__(
+            {},
+            hang_seconds=hang_seconds,
+            memory_bias_bytes=memory_bias_bytes,
+            clock_skew_seconds=clock_skew_seconds,
+        )
         self.seed = seed
         self.rate = rate
         self.kinds = kinds
@@ -274,4 +349,6 @@ class _SeededSpec(FaultInjector):
             kinds=self.kinds,
             attempts=self.attempts,
             hang_seconds=self.hang_seconds,
+            memory_bias_bytes=self.memory_bias_bytes,
+            clock_skew_seconds=self.clock_skew_seconds,
         )

@@ -238,6 +238,7 @@ def evaluate_with_partitioning(
     weight_tol: float = 1e-7,
     frontier_block: int | None = None,
     sink: OutputSink | None = None,
+    governor=None,
 ) -> PartitionedRun:
     """Run the Theorem 2.6 algorithm driven by an LP bound certificate.
 
@@ -248,7 +249,10 @@ def evaluate_with_partitioning(
 
     ``frontier_block`` bounds each per-part WCOJ's live frontier (see
     :func:`repro.evaluation.wcoj.generic_join`); output, meters, and
-    part accounting are identical for every setting.
+    part accounting are identical for every setting.  A ``governor``
+    is threaded into every per-part engine and told the live part
+    index, so budget diagnostics and partial-progress meters name the
+    combination that was running.
 
     An explicit ``sink`` absorbs every part combination's output
     directly, in combination order, and ``PartitionedRun.output`` is
@@ -272,17 +276,24 @@ def evaluate_with_partitioning(
     outputs: list[Relation] = []
     nodes_total = 0
     parts_evaluated = 0
-    for _, relations in plan.combinations():
+    for index, relations in plan.combinations():
+        if governor is not None:
+            governor.set_part(index)
         run = evaluate_part(
             plan.rewritten,
             Database(relations),
             frontier_block=frontier_block,
             sink=sink,
+            governor=governor,
         )
         parts_evaluated += 1
         nodes_total += run.nodes_visited
+        if governor is not None:
+            governor.commit_nodes(run.nodes_visited)
         if sink is None:
             outputs.append(run.output)
+    if governor is not None:
+        governor.set_part(None)
     output = _union_outputs(query, outputs) if sink is None else None
     return PartitionedRun(
         output=output,

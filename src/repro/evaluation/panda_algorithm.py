@@ -30,16 +30,22 @@ def evaluate_part(
     db_part: Database,
     frontier_block: int | None = None,
     sink: OutputSink | None = None,
+    governor=None,
 ) -> JoinRun:
     """Evaluate the query on one strongly-satisfying database part.
 
-    ``frontier_block`` caps the WCOJ's live frontier and ``sink`` routes
-    the part's output rows (see
+    ``frontier_block`` caps the WCOJ's live frontier, ``sink`` routes
+    the part's output rows, and ``governor`` threads resource
+    governance down to the engine's block boundaries (see
     :func:`repro.evaluation.wcoj.generic_join`); output rows, their
     order, and the meter are identical for every setting.
     """
     return generic_join(
-        query, db_part, frontier_block=frontier_block, sink=sink
+        query,
+        db_part,
+        frontier_block=frontier_block,
+        sink=sink,
+        governor=governor,
     )
 
 

@@ -70,7 +70,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from random import Random
 
@@ -84,6 +84,12 @@ from ..relational.chunkstore import (
 )
 from ..relational.columnar import ChunkedColumns, CountSink, SpillSink
 from .faults import FaultCommand, FaultInjector
+from .governor import (
+    CancellationToken,
+    EvaluationBudget,
+    EvaluationGovernor,
+    ResourceGovernanceError,
+)
 from .lp_join import PartitionedRun, plan_partitioned_evaluation
 from .panda_algorithm import evaluate_part
 
@@ -157,6 +163,8 @@ class PartOutcome:
     nodes_visited: int
     segments: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    ladder: list[str] = field(default_factory=list)
+    """Governor degradation steps the accepted attempt walked, in order."""
 
 
 @dataclass
@@ -205,6 +213,11 @@ class _PartTask:
     chunk_rows: int
     fault: FaultCommand | None
     kernel_mode: str = "auto"
+    # the run budget with its deadline apportioned to this attempt's
+    # remaining share (memory watermarks travel unchanged: one worker
+    # holds one part at a time).  The cancellation token never ships —
+    # cancellation is enforced by killing the pool.
+    budget: EvaluationBudget | None = None
 
 
 @dataclass
@@ -216,6 +229,7 @@ class _PartResult:
     n_rows: int
     nodes_visited: int
     segments: list[str]
+    ladder: list[str] = field(default_factory=list)
 
 
 def _run_part_task(task: _PartTask) -> _PartResult:
@@ -235,7 +249,17 @@ def _run_part_task(task: _PartTask) -> _PartResult:
     a run may legitimately be resumed under a different mode.
     """
     kernels.set_mode(task.kernel_mode)
+    governor = None
+    if task.budget is not None and task.budget.governs_anything:
+        governor = EvaluationGovernor(
+            task.budget, phase=f"part {task.index}"
+        )
+        governor.set_part(task.index)
     if task.fault is not None:
+        if governor is None:
+            task.fault.require_governor()
+        else:
+            governor.bias(*task.fault.governor_bias())
         task.fault.trigger_before_evaluation()
     db = Database(task.relations)
     if task.needs_values:
@@ -246,6 +270,7 @@ def _run_part_task(task: _PartTask) -> _PartResult:
             db,
             frontier_block=task.frontier_block,
             sink=spill,
+            governor=governor,
         )
         spill.flush()
         paths = spill.store.segments()
@@ -257,6 +282,7 @@ def _run_part_task(task: _PartTask) -> _PartResult:
             n_rows=spill.n_rows,
             nodes_visited=run.nodes_visited,
             segments=[p.name for p in paths],
+            ladder=list(governor.ladder) if governor is not None else [],
         )
     counter = CountSink()
     counter.open(task.query.variables)
@@ -265,6 +291,7 @@ def _run_part_task(task: _PartTask) -> _PartResult:
         db,
         frontier_block=task.frontier_block,
         sink=counter,
+        governor=governor,
     )
     if task.fault is not None:
         task.fault.trigger_after_spill([])
@@ -274,6 +301,7 @@ def _run_part_task(task: _PartTask) -> _PartResult:
         n_rows=counter.n_rows,
         nodes_visited=run.nodes_visited,
         segments=[],
+        ladder=list(governor.ladder) if governor is not None else [],
     )
 
 
@@ -288,6 +316,7 @@ class _PartState:
     nodes_visited: int = 0
     segments: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
+    ladder: list[str] = field(default_factory=list)
     corrupt: bool = False  # last failure was a segment-integrity one
 
     def to_manifest(self) -> dict:
@@ -298,6 +327,7 @@ class _PartState:
             "nodes_visited": self.nodes_visited,
             "segments": list(self.segments),
             "errors": list(self.errors),
+            "ladder": list(self.ladder),
         }
 
 
@@ -355,6 +385,7 @@ def _load_checkpoint(
             state.nodes_visited = int(entry.get("nodes_visited", 0))
             state.segments = [str(s) for s in entry.get("segments", [])]
             state.errors = [str(e) for e in entry.get("errors", [])]
+            state.ladder = [str(s) for s in entry.get("ladder", [])]
 
 
 def evaluate_parallel(
@@ -371,6 +402,8 @@ def evaluate_parallel(
     resume: bool = False,
     injector: FaultInjector | None = None,
     chunk_rows: int = 1 << 16,
+    budget: EvaluationBudget | None = None,
+    cancel_token: CancellationToken | None = None,
 ) -> ParallelRun:
     """Theorem 2.6 evaluation with supervised process-parallel parts.
 
@@ -383,6 +416,20 @@ def evaluate_parallel(
     it (with ``resume=True`` on re-invocation) to survive interruption.
     ``injector`` threads a deterministic fault plan into the workers
     (tests and the CLI's chaos mode).
+
+    ``budget`` governs resources: memory watermarks ship into every
+    worker unchanged (one part per process), while a global deadline is
+    apportioned — each attempt receives the deadline's *remaining*
+    seconds as both its governed deadline and its kill timeout, so no
+    attempt can outlive the run's budget.  ``cancel_token`` is checked
+    at every supervision step; a cancel (or any other governance stop)
+    flushes the checkpoint manifest and *keeps* the run directory even
+    when ephemeral — the raised
+    :class:`~repro.evaluation.governor.ResourceGovernanceError` names
+    it in ``snapshot.run_dir``, and re-invoking with ``resume=True``
+    completes the run bit-identically.  The budget is deliberately not
+    part of the checkpoint fingerprint: a run may be resumed under a
+    different (or no) budget.
     """
     policy = policy or SupervisionPolicy()
     plan = plan_partitioned_evaluation(query, db, bound, max_parts, weight_tol)
@@ -421,6 +468,18 @@ def evaluate_parallel(
             )
         _load_checkpoint(manifest_path, fingerprint, states)
 
+    governor = None
+    if (
+        budget is not None and budget.governs_anything
+    ) or cancel_token is not None:
+        governor = EvaluationGovernor(
+            budget, token=cancel_token, phase="parallel supervise"
+        )
+        governor.set_run_dir(run_path)
+        governor.register_output(
+            lambda: sum(s.n_rows for s in states if s.status != "pending")
+        )
+
     try:
         _supervise(
             plan,
@@ -435,10 +494,19 @@ def evaluate_parallel(
             manifest_path=manifest_path,
             fingerprint=fingerprint,
             injector=injector,
+            budget=budget,
+            governor=governor,
         )
+        if governor is not None:
+            governor.set_phase("merge")
         output = _merge(
-            plan, states, sink, needs_values, n_vars, run_path
+            plan, states, sink, needs_values, n_vars, run_path, governor
         )
+    except ResourceGovernanceError:
+        # the checkpoint manifest was flushed: keep the run directory —
+        # even an ephemeral one — as the resume point (the snapshot's
+        # run_dir names it)
+        raise
     except BaseException:
         if ephemeral:
             shutil.rmtree(run_path, ignore_errors=True)
@@ -452,6 +520,7 @@ def evaluate_parallel(
             nodes_visited=s.nodes_visited,
             segments=list(s.segments),
             errors=list(s.errors),
+            ladder=list(s.ladder),
         )
         for s in states
     ]
@@ -483,6 +552,8 @@ def _supervise(
     manifest_path: Path,
     fingerprint: dict,
     injector: FaultInjector | None,
+    budget: EvaluationBudget | None = None,
+    governor: EvaluationGovernor | None = None,
 ) -> None:
     """Drive every pending part to done/degraded, or raise."""
     max_workers = (
@@ -512,6 +583,21 @@ def _supervise(
             },
         )
 
+    def part_budget() -> EvaluationBudget | None:
+        if budget is None:
+            return None
+        if governor is None:
+            return budget
+        # the global deadline's remaining share is this attempt's
+        # deadline; memory watermarks travel unchanged
+        remaining = governor.remaining_seconds()
+        if remaining is not None and remaining <= 0:
+            # an exactly-expired deadline: ship an immediately-expiring
+            # budget (the worker's first checkpoint raises) instead of
+            # an invalid zero one
+            remaining = 1e-6
+        return budget.apportion(remaining)
+
     def make_task(index: int, fault: FaultCommand | None, block) -> _PartTask:
         return _PartTask(
             index=index,
@@ -524,6 +610,7 @@ def _supervise(
             chunk_rows=chunk_rows,
             fault=fault,
             kernel_mode=kernels.active_mode(),
+            budget=part_budget(),
         )
 
     def submit(index: int) -> None:
@@ -533,10 +620,17 @@ def _supervise(
         fault = (
             injector.command_for(index, state.attempts) if injector else None
         )
+        timeout_s = policy.part_timeout or None
+        remaining = (
+            governor.remaining_seconds() if governor is not None else None
+        )
+        if remaining is not None:
+            # an attempt's kill deadline never outlives the global one
+            timeout_s = (
+                remaining if timeout_s is None else min(timeout_s, remaining)
+            )
         deadline = (
-            time.monotonic() + policy.part_timeout
-            if policy.part_timeout
-            else None
+            time.monotonic() + timeout_s if timeout_s is not None else None
         )
         future = pool.submit(
             _run_part_task, make_task(index, fault, frontier_block)
@@ -560,6 +654,7 @@ def _supervise(
         state.n_rows = result.n_rows
         state.nodes_visited = result.nodes_visited
         state.segments = list(result.segments)
+        state.ladder = list(result.ladder)
         persist()
 
     def charge(index: int, message: str, corrupt: bool) -> None:
@@ -599,6 +694,15 @@ def _supervise(
         try:
             result = _run_part_task(make_task(index, None, block))
             validate_spill(index, result)
+        except ResourceGovernanceError as exc:
+            # a budget verdict is deterministic — retrying or ignoring
+            # it would evade the budget; record it and abort the run
+            state.attempts += 1
+            state.errors.append(
+                f"serial fallback: {type(exc).__name__}: {exc}"
+            )
+            state.status = "failed"
+            raise
         except Exception as exc:
             state.attempts += 1
             state.errors.append(
@@ -609,7 +713,17 @@ def _supervise(
         accept(index, result, "degraded")
 
     try:
+        # the manifest exists from the very first step, so a cancel (or
+        # any crash) that fires before any part completes still leaves a
+        # resumable checkpoint behind
+        persist()
         while pending or in_flight or exhausted:
+            if governor is not None:
+                governor.set_parts_progress(
+                    sum(1 for s in states if s.status != "pending"),
+                    len(states),
+                )
+                governor.checkpoint()
             while exhausted:
                 degrade(exhausted.pop(0))  # raises on permanent failure
             if not pending and not in_flight:
@@ -639,7 +753,11 @@ def _supervise(
                 continue
             if not in_flight:
                 # everything queued sits in a backoff window
-                time.sleep(max(0.0, pending[0][0] - time.monotonic()))
+                delay = max(0.0, pending[0][0] - time.monotonic())
+                if governor is not None:
+                    # stay responsive to cancel/deadline while backing off
+                    delay = min(delay, 0.25)
+                time.sleep(delay)
                 continue
             wake = min(
                 (dl for _, dl in in_flight.values() if dl is not None),
@@ -653,6 +771,10 @@ def _supervise(
                 if wake is None
                 else max(0.0, wake - time.monotonic()) + 0.01
             )
+            if governor is not None:
+                # poll the token/deadline at least a few times a second
+                # even when no part-level deadline is pending
+                timeout = 0.25 if timeout is None else min(timeout, 0.25)
             done, _ = wait(
                 set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
             )
@@ -673,6 +795,24 @@ def _supervise(
                         f"worker process died: {exc or 'pool broken'}",
                         corrupt=False,
                     )
+                except ResourceGovernanceError as exc:
+                    # a worker's budget verdict (hard cap, apportioned
+                    # deadline): deterministic, so no retry and no
+                    # budget-evading serial fallback — abort the run
+                    # with the worker's own diagnostic snapshot
+                    state = states[index]
+                    state.attempts += 1
+                    state.errors.append(
+                        f"attempt {state.attempts}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    state.status = "failed"
+                    # the worker never knew the run directory; stamp it
+                    # into the snapshot so callers can print a resume
+                    # hint
+                    raise type(exc)(
+                        replace(exc.snapshot, run_dir=str(run_path))
+                    ) from exc
                 except ChunkStoreError as exc:
                     charge(index, str(exc), corrupt=True)
                 except Exception as exc:
@@ -692,11 +832,15 @@ def _supervise(
                 needs_new_pool = True
                 for future, (index, dl) in list(in_flight.items()):
                     if dl is not None and now >= dl:
-                        charge(
-                            index,
-                            f"timed out after {policy.part_timeout:.4g}s",
-                            corrupt=False,
-                        )
+                        if policy.part_timeout:
+                            message = (
+                                f"timed out after {policy.part_timeout:.4g}s"
+                            )
+                        else:
+                            message = (
+                                "timed out (apportioned global deadline)"
+                            )
+                        charge(index, message, corrupt=False)
                     else:
                         # innocent bystander of the pool kill: re-queue
                         # at the same attempt, uncharged
@@ -705,6 +849,14 @@ def _supervise(
             if needs_new_pool and pool is not None:
                 _kill_pool(pool)
                 pool = None
+    except ResourceGovernanceError:
+        # flush the checkpoint before propagating: every accepted part
+        # is recorded, so the run resumes from here bit-identically
+        if pool is not None:
+            _kill_pool(pool)
+            pool = None
+        persist()
+        raise
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -717,6 +869,7 @@ def _merge(
     needs_values: bool,
     n_vars: int,
     run_path: Path,
+    governor: EvaluationGovernor | None = None,
 ):
     """Feed per-part results through the final sink in part order.
 
@@ -724,11 +877,19 @@ def _merge(
     visit order, so the final sink observes the same row stream as the
     serial evaluator; the materializing path rebuilds the union through
     the same :class:`ChunkedColumns` + ``Relation.from_columns``
-    construction the serial ``_union_outputs`` uses.
+    construction the serial ``_union_outputs`` uses.  A governor is
+    checkpointed between parts — with an escalatable final sink
+    registered, a merge that crosses the soft watermark switches it to
+    disk mid-merge instead of materializing past the budget.
     """
     if sink is not None:
         sink.open(plan.rewritten.variables)
+        if governor is not None:
+            governor.register_sink(sink)
         for state in states:
+            if governor is not None:
+                governor.set_part(state.index)
+                governor.checkpoint()
             if needs_values:
                 if not state.segments:
                     continue
@@ -744,6 +905,9 @@ def _merge(
         return None
     acc = ChunkedColumns(n_vars)
     for state in states:
+        if governor is not None:
+            governor.set_part(state.index)
+            governor.checkpoint()
         if not state.segments:
             continue
         store = SegmentStore.attach(

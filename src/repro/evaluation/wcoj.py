@@ -169,6 +169,7 @@ def generic_join(
     order: Sequence[str] | None = None,
     frontier_block: int | None = None,
     sink: OutputSink | None = None,
+    governor=None,
 ) -> JoinRun:
     """Evaluate a full conjunctive query worst-case optimally.
 
@@ -192,6 +193,13 @@ def generic_join(
         tuple fallback emits row batches) and ``JoinRun.output`` is
         ``None`` — counts, row order, and the meter are bit-identical to
         the materialized run for every sink and block size.
+    governor:
+        An optional
+        :class:`~repro.evaluation.governor.EvaluationGovernor`.  The
+        engine calls ``governor.checkpoint()`` at every block boundary
+        and re-reads ``governor.effective_block`` there, so watermark
+        degradation (block halving, sink escalation) lands at the next
+        slice; governed output is bit-identical to ungoverned.
 
     Returns
     -------
@@ -206,10 +214,18 @@ def generic_join(
     order = _resolve_order(query, order)
     if sink is not None:
         sink.open(query.variables)
-    run = _generic_join_columnar(query, db, order, frontier_block, sink)
+    if governor is not None:
+        governor.register_sink(sink)
+        # record the requested block before the first checkpoint, so a
+        # soft-watermark ladder step halves from the caller's setting
+        governor.effective_block(frontier_block)
+        governor.checkpoint()
+    run = _generic_join_columnar(
+        query, db, order, frontier_block, sink, governor
+    )
     if run is not None:
         return run
-    return generic_join_tuples(query, db, order, sink=sink)
+    return generic_join_tuples(query, db, order, sink=sink, governor=governor)
 
 
 def generic_join_tuples(
@@ -217,6 +233,7 @@ def generic_join_tuples(
     db: Database,
     order: Sequence[str] | None = None,
     sink: OutputSink | None = None,
+    governor=None,
 ) -> JoinRun:
     """The tuple-at-a-time Generic Join over nested-dict tries.
 
@@ -242,6 +259,13 @@ def generic_join_tuples(
         sink.open(query.variables)
     nodes: list[dict] = [trie for _, trie in tries]
     visited = 0
+    if governor is not None:
+        governor.register_output(
+            (lambda: sink.n_rows) if sink is not None else lambda: len(results)
+        )
+    # the tuple engine has no block boundaries; checkpoint cooperatively
+    # every _TUPLE_SINK_BATCH visited nodes instead
+    next_check = _TUPLE_SINK_BATCH
 
     def emit() -> None:
         if sink is None:
@@ -256,10 +280,13 @@ def generic_join_tuples(
             buffer.clear()
 
     def descend(level: int) -> None:
-        nonlocal visited
+        nonlocal visited, next_check
         if level == n:
             emit()
             return
+        if governor is not None and visited >= next_check:
+            next_check = visited + _TUPLE_SINK_BATCH
+            governor.checkpoint(nodes_visited=visited)
         participants = atoms_at[level]
         if not participants:
             raise RuntimeError(
@@ -302,6 +329,7 @@ def _generic_join_columnar(
     order: tuple[str, ...],
     frontier_block: int | None = None,
     sink: OutputSink | None = None,
+    governor=None,
 ) -> JoinRun | None:
     """The blocked sorted-codes engine; ``None`` means fall back.
 
@@ -441,6 +469,11 @@ def _generic_join_columnar(
                 sink.append_rows([()])
 
     visited = 0
+    if governor is not None:
+        if sink is not None:
+            governor.register_output(lambda: sink.n_rows)
+        else:
+            governor.register_output(lambda: acc.n_rows)
 
     def expand(level, n_front, atom_node, binding_cols):
         """Yield the surviving sub-blocks of one frontier block, in order."""
@@ -472,7 +505,11 @@ def _generic_join_columnar(
         # node ids are only carried for atoms still constraining deeper
         # levels; a participant whose last level is this one is done.
         carried = [i for i, _ in participants if last_level[i] > level]
-        chunk = total if frontier_block is None else frontier_block
+        if governor is None:
+            block = frontier_block
+        else:
+            block = governor.effective_block(frontier_block)
+        chunk = total if block is None else block
 
         def expand_slice(lo, hi):
             """One candidate slice: ``(width, sub_nodes, new_cols)`` or
@@ -568,7 +605,15 @@ def _generic_join_columnar(
             new_cols.append(sub_cand)
             return len(sub_cand), sub_nodes, new_cols
 
-        for lo in range(0, total, chunk):
+        lo = 0
+        while lo < total:
+            if governor is not None:
+                # block boundary: one cheap probe, and the effective
+                # block is re-read so a ladder halving (or a raise)
+                # takes hold at this very slice
+                governor.checkpoint(nodes_visited=visited)
+                block = governor.effective_block(frontier_block)
+                chunk = total if block is None else block
             hi = min(lo + chunk, total)
             result = expand_slice(lo, hi)
             if hi >= total:
@@ -580,6 +625,7 @@ def _generic_join_columnar(
                 del atom_node, binding_cols
             if result is not None:
                 yield result
+            lo = hi
 
     def descend(level, n_front, atom_node, binding_cols):
         if level == n:

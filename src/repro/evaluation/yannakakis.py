@@ -57,7 +57,9 @@ def _semijoin(
     ]
 
 
-def semijoin_reduce(query: ConjunctiveQuery, db: Database) -> Database:
+def semijoin_reduce(
+    query: ConjunctiveQuery, db: Database, governor=None
+) -> Database:
     """The full (up-then-down) Yannakakis reduction of the database.
 
     Returns a database over the same relation names where every relation
@@ -67,12 +69,16 @@ def semijoin_reduce(query: ConjunctiveQuery, db: Database) -> Database:
     For self-joins (one relation behind several atoms) the surviving rows
     are the union of the per-atom survivors — each kept row participates
     through at least one of its atoms.
+
+    A ``governor`` is checkpointed before every semijoin of both sweeps
+    — the reduction's natural block boundary — so deadlines, cancels,
+    and memory caps land between steps, never mid-semijoin.
     """
     tree = join_tree(query)  # raises for cyclic queries
-    reduced = _semijoin_reduce_columnar(query, db, tree)
+    reduced = _semijoin_reduce_columnar(query, db, tree, governor)
     if reduced is not None:
         return reduced
-    return _semijoin_reduce_tuples(query, db, tree)
+    return _semijoin_reduce_tuples(query, db, tree, governor)
 
 
 def semijoin_reduce_tuples(query: ConjunctiveQuery, db: Database) -> Database:
@@ -95,7 +101,10 @@ def _tree_children(
 
 
 def _semijoin_reduce_columnar(
-    query: ConjunctiveQuery, db: Database, tree: list[tuple[int, int | None]]
+    query: ConjunctiveQuery,
+    db: Database,
+    tree: list[tuple[int, int | None]],
+    governor=None,
 ) -> Database | None:
     """Both sweeps over liveness masks in code space; ``None`` = fall back."""
     atoms = list(query.atoms)
@@ -151,6 +160,8 @@ def _semijoin_reduce_columnar(
     for atom_idx, parent_idx in tree:
         if parent_idx is None:
             continue
+        if governor is not None:
+            governor.checkpoint()
         if not semijoin(parent_idx, atom_idx):  # pragma: no cover - overflow
             return None
     # downward sweep: children lose rows with no partner in their parent
@@ -158,6 +169,8 @@ def _semijoin_reduce_columnar(
     while stack:
         node = stack.pop()
         for child in children[node]:
+            if governor is not None:
+                governor.checkpoint()
             if not semijoin(child, node):  # pragma: no cover - overflow
                 return None
             stack.append(child)
@@ -185,7 +198,10 @@ def _semijoin_reduce_columnar(
 
 
 def _semijoin_reduce_tuples(
-    query: ConjunctiveQuery, db: Database, tree: list[tuple[int, int | None]]
+    query: ConjunctiveQuery,
+    db: Database,
+    tree: list[tuple[int, int | None]],
+    governor=None,
 ) -> Database:
     atoms = list(query.atoms)
     rows_of = {i: list(_atom_rows(atoms[i], db)[1]) for i in range(len(atoms))}
@@ -196,6 +212,8 @@ def _semijoin_reduce_tuples(
     for atom_idx, parent_idx in tree:
         if parent_idx is None:
             continue
+        if governor is not None:
+            governor.checkpoint()
         rows_of[parent_idx] = _semijoin(
             vars_of[parent_idx],
             rows_of[parent_idx],
@@ -205,6 +223,8 @@ def _semijoin_reduce_tuples(
     # downward sweep: children lose rows with no partner in their parent
     def push_down(node: int) -> None:
         for child in children[node]:
+            if governor is not None:
+                governor.checkpoint()
             rows_of[child] = _semijoin(
                 vars_of[child],
                 rows_of[child],

@@ -36,7 +36,12 @@ from pathlib import Path
 from ..core import collect_statistics, lp_bound
 from ..datasets.generators import star_database, star_query
 from ..evaluation import (
+    CancellationToken,
+    EscalatingSink,
+    EvaluationBudget,
+    EvaluationGovernor,
     SupervisionPolicy,
+    budget_from_spec,
     evaluate_parallel,
     generic_join,
     parse_fault_spec,
@@ -69,6 +74,9 @@ class StarRow:
     seconds: float
     matches_unblocked: bool
     workers: int | None = None
+    #: Degradation-ladder steps the governor took (empty when ungoverned
+    #: or when the budget was never under pressure).
+    ladder: tuple[str, ...] = ()
 
     @property
     def label(self) -> str:
@@ -94,6 +102,8 @@ def run_star_experiment(
     policy: SupervisionPolicy | None = None,
     injector=None,
     resume_dir: str | None = None,
+    budget: EvaluationBudget | None = None,
+    cancel_token: CancellationToken | None = None,
 ) -> list[StarRow]:
     """Run E14: a materialized reference plus one blocked row per sink.
 
@@ -115,6 +125,13 @@ def run_star_experiment(
     parallel rows verify output counts (and row multisets where the
     sink keeps rows) against the reference; the bit-identical
     serial-vs-parallel checks live in the fault-tolerance test suite.
+
+    ``budget`` governs every blocked run (and the parallel rows) with a
+    fresh :class:`~repro.evaluation.EvaluationGovernor` — under memory
+    pressure the degradation ladder kicks in (each row records the
+    steps it took) while the ``identical`` column keeps verifying the
+    output against the ungoverned reference.  ``cancel_token`` makes
+    every run (including the reference) cooperatively cancellable.
     """
     unknown = [s for s in sinks if s not in SINK_MODES]
     if unknown:
@@ -123,12 +140,27 @@ def run_star_experiment(
     # count-only sweeps never need the reference rows in a Python list
     needs_rows = any(mode in ("materialize", "spill") for mode in sinks)
     rows: list[StarRow] = []
+    governed = budget is not None or cancel_token is not None
     for fan_out in fan_outs:
         db = star_database(fan_out, num_hubs=num_hubs, arms=arms)
         generic_join(query, db, frontier_block=frontier_block)  # warm tries
         reference_block = None if include_unblocked else frontier_block
+        # the reference stays *memory*-ungoverned (a budget would cap
+        # its unblocked frontier), but honours the cancel token
+        reference_governor = (
+            EvaluationGovernor(
+                token=cancel_token, phase=f"fan-out {fan_out} reference"
+            )
+            if cancel_token is not None
+            else None
+        )
         reference, ref_peak, ref_time = metered(
-            lambda: generic_join(query, db, frontier_block=reference_block)
+            lambda: generic_join(
+                query,
+                db,
+                frontier_block=reference_block,
+                governor=reference_governor,
+            )
         )
         reference_rows = list(reference.output) if needs_rows else None
         rows.append(
@@ -144,22 +176,69 @@ def run_star_experiment(
             )
         )
         for mode in sinks:
+            governor = (
+                EvaluationGovernor(
+                    budget,
+                    token=cancel_token,
+                    phase=f"fan-out {fan_out} {mode}",
+                )
+                if governed
+                else None
+            )
             if mode == "materialize":
-                run, peak, secs = metered(
-                    lambda: generic_join(
-                        query, db, frontier_block=frontier_block
+                if budget is not None and budget.governs_memory:
+                    # a governed materialization routes through an
+                    # EscalatingSink so ladder rung 2 (materialize→spill)
+                    # is available mid-run
+                    if spill_dir is not None:
+                        target = Path(spill_dir) / f"fanout-{fan_out}-escalate"
+                        context = None
+                    else:
+                        context = tempfile.TemporaryDirectory()
+                        target = Path(context.name) / "escalate"
+                    try:
+                        with EscalatingSink(target) as sink:
+                            run, peak, secs = metered(
+                                lambda: generic_join(
+                                    query,
+                                    db,
+                                    frontier_block=frontier_block,
+                                    sink=sink,
+                                    governor=governor,
+                                )
+                            )
+                            count = sink.n_rows
+                            matches = (
+                                sink.rows() == reference_rows
+                                and run.nodes_visited
+                                == reference.nodes_visited
+                            )
+                    finally:
+                        if context is not None:
+                            context.cleanup()
+                else:
+                    run, peak, secs = metered(
+                        lambda: generic_join(
+                            query,
+                            db,
+                            frontier_block=frontier_block,
+                            governor=governor,
+                        )
                     )
-                )
-                matches = (
-                    list(run.output) == reference_rows
-                    and run.nodes_visited == reference.nodes_visited
-                )
-                count = run.count
+                    matches = (
+                        list(run.output) == reference_rows
+                        and run.nodes_visited == reference.nodes_visited
+                    )
+                    count = run.count
             elif mode == "count":
                 sink = CountSink()
                 run, peak, secs = metered(
                     lambda: generic_join(
-                        query, db, frontier_block=frontier_block, sink=sink
+                        query,
+                        db,
+                        frontier_block=frontier_block,
+                        sink=sink,
+                        governor=governor,
                     )
                 )
                 count = sink.total
@@ -182,6 +261,7 @@ def run_star_experiment(
                                 db,
                                 frontier_block=frontier_block,
                                 sink=sink,
+                                governor=governor,
                             )
                         )
                         count = sink.n_rows
@@ -202,6 +282,7 @@ def run_star_experiment(
                     peak_mb=peak,
                     seconds=secs,
                     matches_unblocked=matches,
+                    ladder=governor.ladder if governor is not None else (),
                 )
             )
         if parallel_workers:
@@ -218,6 +299,8 @@ def run_star_experiment(
                     policy,
                     injector,
                     resume_dir,
+                    budget,
+                    cancel_token,
                 )
             )
     return rows
@@ -235,6 +318,8 @@ def _parallel_rows(
     policy: SupervisionPolicy | None,
     injector,
     resume_dir: str | None,
+    budget: EvaluationBudget | None = None,
+    cancel_token: CancellationToken | None = None,
 ) -> list[StarRow]:
     """One supervised-parallel row per sink mode for one fan-out."""
     stats = collect_statistics(query, db, ps=[1.0, 2.0, math.inf])
@@ -253,6 +338,8 @@ def _parallel_rows(
             injector=injector,
             run_dir=run_dir,
             resume=run_dir is not None,
+            budget=budget,
+            cancel_token=cancel_token,
         )
         if mode == "materialize":
             run, peak, secs = metered(
@@ -296,6 +383,11 @@ def _parallel_rows(
                 seconds=secs,
                 matches_unblocked=matches,
                 workers=workers,
+                ladder=tuple(
+                    step
+                    for outcome in run.outcomes
+                    for step in outcome.ladder
+                ),
             )
         )
     return rows
@@ -310,6 +402,9 @@ def main(
     retries: int | None = None,
     inject_faults: str | None = None,
     resume: str | None = None,
+    memory_budget: str | None = None,
+    deadline: float | None = None,
+    cancel_token: CancellationToken | None = None,
 ) -> str:
     """Render the E14 table (all sink modes, or just the requested one).
 
@@ -319,6 +414,13 @@ def main(
     workers (see :func:`repro.evaluation.parse_fault_spec`), and
     ``resume`` names a checkpoint directory to continue an interrupted
     sweep from.
+
+    ``memory_budget`` (``"HARD"`` or ``"SOFT:HARD"``, K/M/G suffixes)
+    and ``deadline`` (seconds) govern every blocked and parallel run
+    (see :func:`repro.evaluation.budget_from_spec`); the ``ladder``
+    column shows the degradation steps each governed run took.
+    ``cancel_token`` is flipped by the CLI's signal handlers for a
+    graceful Ctrl-C.
     """
     sinks = SINK_MODES if sink is None else (sink,)
     policy_kwargs = {}
@@ -326,6 +428,7 @@ def main(
         policy_kwargs["part_timeout"] = part_timeout
     if retries is not None:
         policy_kwargs["max_retries"] = retries
+    budget = budget_from_spec(memory=memory_budget, deadline=deadline)
     rows = run_star_experiment(
         frontier_block=frontier_block,
         sinks=sinks,
@@ -336,12 +439,18 @@ def main(
             parse_fault_spec(inject_faults) if inject_faults else None
         ),
         resume_dir=resume,
+        budget=budget,
+        cancel_token=cancel_token,
     )
+    governed = budget is not None
+    headers = [
+        "fan-out", "engine", "sink", "|Q|", "nodes", "peak MB", "ms",
+        "identical",
+    ]
+    if governed:
+        headers.append("ladder")
     table = format_table(
-        [
-            "fan-out", "engine", "sink", "|Q|", "nodes", "peak MB", "ms",
-            "identical",
-        ],
+        headers,
         [
             (
                 r.fan_out,
@@ -353,6 +462,7 @@ def main(
                 f"{r.seconds * 1e3:.1f}",
                 "yes" if r.matches_unblocked else "NO",
             )
+            + ((" → ".join(r.ladder) if r.ladder else "-",) if governed else ())
             for r in rows
         ],
     )

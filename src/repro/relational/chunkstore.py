@@ -96,12 +96,26 @@ def atomic_write_json(path: str | os.PathLike, payload: dict) -> None:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
     finally:
-        tmp.unlink(missing_ok=True)
+        _unlink_quietly(tmp)
     fsync_dir(path.parent)
 
 
 class ChunkStoreError(RuntimeError):
-    """A segment file is missing, truncated, corrupt, or mis-shaped."""
+    """A segment file is missing, truncated, corrupt, unwritable, or
+    mis-shaped."""
+
+
+def _unlink_quietly(path: Path) -> None:
+    """Best-effort tmp-file removal: never mask the original error.
+
+    An ``OSError`` here (permissions yanked mid-run, directory removed)
+    must not shadow the write failure that is already propagating — and
+    on the success path there is nothing to remove anyway.
+    """
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:  # pragma: no cover - cleanup during FS failure
+        pass
 
 
 class SegmentStore:
@@ -244,13 +258,23 @@ class SegmentStore:
         payload = {f"column_{i}": c for i, c in enumerate(columns)}
         payload["n_rows"] = np.int64(n_rows)
         try:
-            with open(tmp, "wb") as handle:
-                np.savez(handle, **payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            try:
+                with open(tmp, "wb") as handle:
+                    np.savez(handle, **payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except OSError as exc:
+                # ENOSPC/EACCES/EIO mid-flush: surface a store error
+                # naming the segment and the rows that did not land —
+                # callers (SpillSink, the parallel supervisor) already
+                # treat ChunkStoreError as "this spill is lost"
+                raise ChunkStoreError(
+                    f"could not write segment {path} ({n_rows} rows at "
+                    f"risk): {exc}"
+                ) from exc
         finally:
-            tmp.unlink(missing_ok=True)
+            _unlink_quietly(tmp)
         # the rename itself must survive a hard kill: sync the directory
         fsync_dir(self.directory)
         self._paths.append(path)

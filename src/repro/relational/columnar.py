@@ -343,6 +343,17 @@ class ChunkedColumns:
         if self._chunks:
             self._n_rows += len(columns[0])
 
+    def iter_chunks(self) -> Iterator[list[np.ndarray]]:
+        """The appended chunks, in order, as one array-list per chunk.
+
+        Lets a consumer drain the accumulator chunk-at-a-time without
+        the :meth:`finalize` concatenation — the mid-run
+        materialize→spill escalation replays these as the first disk
+        segments, preserving emission order exactly.
+        """
+        for k in range(self.n_chunks):
+            yield [store[k] for store in self._chunks]
+
     def finalize(self) -> list[np.ndarray]:
         """One array per column: a single concatenation pass per column."""
         out = []

@@ -123,3 +123,89 @@ class TestDurabilityHelpers:
     def test_fsync_dir_tolerates_any_directory(self, tmp_path):
         fsync_dir(tmp_path)  # must not raise
         fsync_dir(tmp_path / "missing")  # nor for absent paths
+
+
+class TestWriteFailure:
+    """A failing flush (disk full, permissions yanked) surfaces as a
+    :class:`ChunkStoreError` naming the segment and the rows at risk,
+    leaves no ``*.tmp`` survivor, and never corrupts earlier segments."""
+
+    CHUNK = [np.array([1, 2, 3]), np.array([4, 5, 6])]
+
+    @pytest.mark.parametrize(
+        "errno_name,message", [("ENOSPC", "No space left"), ("EACCES", "Permission denied")]
+    )
+    def test_failed_replace_raises_chunk_store_error(
+        self, tmp_path, monkeypatch, errno_name, message
+    ):
+        import errno
+        import os
+
+        store = SegmentStore(tmp_path, 2)
+        code = getattr(errno, errno_name)
+
+        def broken_replace(src, dst):
+            raise OSError(code, message)
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(ChunkStoreError, match=r"3 rows at risk"):
+            store.write(self.CHUNK)
+        monkeypatch.undo()
+        # nothing half-written survives, the store is still usable
+        assert not list(tmp_path.glob("*.tmp"))
+        assert store.n_segments == 0 and store.n_rows == 0
+        store.write(self.CHUNK)
+        assert store.n_rows == 3
+
+    def test_failed_savez_raises_and_leaves_no_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        store = SegmentStore(tmp_path, 2)
+
+        def broken_savez(handle, **payload):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(
+            "repro.relational.chunkstore.np.savez", broken_savez
+        )
+        with pytest.raises(ChunkStoreError, match="segment"):
+            store.write(self.CHUNK)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_error_names_the_segment_path(self, tmp_path, monkeypatch):
+        import os
+
+        store = SegmentStore(tmp_path, 2)
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError(28, "full")),
+        )
+        with pytest.raises(ChunkStoreError, match="segment-00000000.npz"):
+            store.write(self.CHUNK)
+
+    def test_spill_sink_cleanup_survives_write_failure(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.relational import SpillSink
+
+        target = tmp_path / "spill"
+        with pytest.raises(ChunkStoreError):
+            with SpillSink(target, chunk_rows=2) as sink:
+                sink.open(("x", "y"))
+                sink.append_rows([(1, 2)])
+                monkeypatch.setattr(
+                    os,
+                    "replace",
+                    lambda src, dst: (_ for _ in ()).throw(
+                        OSError(28, "No space left on device")
+                    ),
+                )
+                sink.append_rows([(3, 4), (5, 6)])  # flush boundary
+        monkeypatch.undo()
+        # the context manager's cleanup still ran: no tmp survivors and
+        # no stray segments the failed run would leak
+        assert not list(target.glob("*.tmp"))
+        assert not list(target.glob("segment-*.npz"))
