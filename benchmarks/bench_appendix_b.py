@@ -1,4 +1,4 @@
-"""E13 — Appendix B: the [14] bound and Theorem B.2 (see DESIGN.md §4).
+"""E13 — Appendix B: the [14] bound and Theorem B.2 (see docs/architecture.md).
 
 Regenerates: Example B.1's unsound N^{2/3} claim and the (cycle length,
 p) agreement sweep.  Asserts: the modular value undershoots the true

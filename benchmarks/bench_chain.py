@@ -1,4 +1,4 @@
-"""E11 — Example 2.2 / Appendix C.4: path queries (see DESIGN.md §4).
+"""E11 — Example 2.2 / Appendix C.4: path queries (see docs/architecture.md).
 
 Regenerates: bounds for paths of length 2–5 over a SNAP-like relation.
 Asserts the acyclic-case story that motivates the paper: the full ℓp

@@ -1,4 +1,4 @@
-"""E4 — Example 2.3 / Appendix C.5: the (p+1)-cycle (see DESIGN.md §4).
+"""E4 — Example 2.3 / Appendix C.5: the (p+1)-cycle (see docs/architecture.md).
 
 Regenerates: for p ∈ {2,3,4}, all ℓq bounds (21), the AGM and PANDA
 bounds, and the LP optimum on the (1/(p+1), 1/(p+1))-relation.  Asserts

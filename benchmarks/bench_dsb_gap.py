@@ -1,4 +1,4 @@
-"""E5 — Appendix C.3: DSB vs ℓp-bound gap (see DESIGN.md §4).
+"""E5 — Appendix C.3: DSB vs ℓp-bound gap (see docs/architecture.md).
 
 Regenerates: the (0,1/3)/(0,2/3) gap instance.  Asserts: DSB exponent ≈ 1
 (tight), ℓp LP exponent ≈ 10/9, the LP matches closed form (50), and the

@@ -1,4 +1,4 @@
-"""E8 — Sec. 2.2 / Theorem 2.6: evaluation within the bound (DESIGN.md §4).
+"""E8 — Sec. 2.2 / Theorem 2.6: evaluation within the bound (docs/architecture.md).
 
 Regenerates: the metered partitioned evaluation of the one-join and
 triangle workloads.  Asserts: the partitioned algorithm's output equals

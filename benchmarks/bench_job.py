@@ -1,4 +1,4 @@
-"""E3 — Figure 1: 33 JOB-like acyclic queries (see DESIGN.md §4).
+"""E3 — Figure 1: 33 JOB-like acyclic queries (see docs/architecture.md).
 
 Regenerates: ratio of ours / AGM / PANDA / textbook to the true count and
 the norms used, for all 33 join templates.  Asserts the paper's shape:

@@ -1,4 +1,4 @@
-"""E12 — Appendix C.6: the Loomis–Whitney query (see DESIGN.md §4).
+"""E12 — Appendix C.6: the Loomis–Whitney query (see docs/architecture.md).
 
 Regenerates: AGM vs the C.6 ℓ2 closed form vs the full LP on skewed
 ternary relations.  Asserts LP ≤ closed form ≤-ish AGM and soundness.

@@ -1,7 +1,7 @@
 """E10 + the batched bound pipeline's repeated-solve workloads.
 
 ``test_bench_lp_scaling`` regenerates the paper-shaped solver-scaling
-table (DESIGN.md §4).  The ``repeated_solve`` pair benchmarks the
+table (docs/architecture.md).  The ``repeated_solve`` pair benchmarks the
 plan-search pattern a production estimator lives in: the same bound
 structures are requested over and over (a join-order enumerator re-costs
 the same subqueries per candidate plan; a scale sweep re-solves one

@@ -1,4 +1,4 @@
-"""E7 — Theorem D.3(2): the 35/36 non-Shannon gap (see DESIGN.md §4).
+"""E7 — Theorem D.3(2): the 35/36 non-Shannon gap (see docs/architecture.md).
 
 Regenerates: the polymatroid LP bound with and without the Zhang–Yeung
 inequality on the Appendix D.2 query and statistics.  Asserts the exact

@@ -1,4 +1,4 @@
-"""E9 — ablation: bound quality vs available norm family (DESIGN.md §4).
+"""E9 — ablation: bound quality vs available norm family (docs/architecture.md).
 
 Regenerates: geometric-mean bound/true ratios over the JOB-like workload
 for nested norm families.  Asserts monotone improvement, the huge jump

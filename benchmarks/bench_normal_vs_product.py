@@ -1,4 +1,4 @@
-"""E6 — Example 6.7: normal vs product worst cases (see DESIGN.md §4).
+"""E6 — Example 6.7: normal vs product worst cases (see docs/architecture.md).
 
 Regenerates: the ℓ4 triangle-plus-unaries instance.  Asserts: LP bound =
 B exactly; the normal database satisfies the statistics and achieves

@@ -1,4 +1,4 @@
-"""E2 — Appendix C.1 one-join table (see DESIGN.md §4).
+"""E2 — Appendix C.1 one-join table (see docs/architecture.md).
 
 Regenerates: per-dataset ratios for the self-join R(x,y) ⋈ R(y,z).
 Asserts the paper's shape: the {2}-bound is exactly 1.0 on these

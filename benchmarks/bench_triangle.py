@@ -1,4 +1,4 @@
-"""E1 — Appendix C.1 triangle table (see DESIGN.md §4).
+"""E1 — Appendix C.1 triangle table (see docs/architecture.md).
 
 Regenerates: per-dataset ratios of the {1}, {1,∞}, {2} bounds and the
 textbook estimate to the true triangle count.  Asserts the paper's shape:

@@ -1,7 +1,7 @@
 """Benchmark configuration.
 
-Every benchmark regenerates one of the paper's tables/figures (DESIGN.md
-§4).  Experiments are deterministic but not micro-benchmarks, so each runs
+Every benchmark regenerates one of the paper's tables/figures (see
+docs/architecture.md).  Experiments are deterministic but not micro-benchmarks, so each runs
 once per session (pedantic mode, 1 round) and asserts the paper's
 qualitative *shape* — who wins, by roughly what factor — on top of timing.
 """

@@ -62,6 +62,13 @@ TOLERANCES = {
     # residual compilation into early rounds on slow runners.
     "benchmarks/bench_evaluation.py::test_bench_wcoj_triangle_kernels": 2.0,
     "benchmarks/bench_evaluation.py::test_bench_wcoj_loomis_whitney_kernels": 2.0,
+    # the service entries measure sub-ms request paths (dictionary hits,
+    # loopback HTTP round trips): thread scheduling and socket latency
+    # dominate at that scale, so they get extra slack before gating.
+    "benchmarks/bench_service.py::test_bench_service_bound_warm": 2.0,
+    "benchmarks/bench_service.py::test_bench_service_http_round_trip": 2.0,
+    "benchmarks/bench_service.py::test_bench_lp_b_swap_oneshot": 2.0,
+    "benchmarks/bench_service.py::test_bench_lp_b_swap_persistent": 2.0,
 }
 
 #: Per-benchmark peak-memory tolerance overrides (ratio of peak_kb).

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Pessimistic join ordering: bounds as an optimizer's cardinality model.
+"""Pessimistic join ordering against the bound-serving service.
 
 The paper's motivation (Sec. 1): optimizers pick plans by estimated
 intermediate sizes, and underestimates cause catastrophic plans.  This
-example uses the ℓp bound as a *pessimistic* cost model: for every
-left-deep join order of a 4-atom query it bounds each intermediate
-prefix, scores the plan by its largest intermediate bound, and compares
-the chosen plan against the plan the textbook estimator would pick —
-reporting the *true* intermediate sizes of both.
+example runs the service the way an optimizer would — a long-lived
+process answering bound requests over HTTP — and uses the ℓp bound as a
+*pessimistic* cost model: for every left-deep join order of a 4-atom
+query it posts each intermediate prefix to ``POST /bound``, scores the
+plan by its largest intermediate bound, and compares the chosen plan
+against the plan the textbook estimator would pick — reporting the
+*true* intermediate sizes of both.
+
+Because prefixes recur across orders (``R1 ⋈ R2`` starts many plans),
+most of the planner's requests are served from the result memo; the
+``/metrics`` summary printed at the end shows the hit rates and warm
+latency percentiles.
 
 Run:  python examples/join_ordering.py
 """
@@ -15,39 +22,55 @@ Run:  python examples/join_ordering.py
 import itertools
 import math
 
-from repro import Database, collect_statistics, lp_bound
-from repro.core import StatisticsCatalog
+from repro import Database
 from repro.datasets import power_law_graph
 from repro.estimators import textbook_estimate_log2
 from repro.evaluation import acyclic_count
 from repro.query.query import Atom, ConjunctiveQuery
+from repro.service import BoundClient, BoundService, start_server
+
+
+def datalog_text(atoms, name="Q"):
+    """Render atoms as the datalog text the service's parser accepts."""
+    head_vars: dict[str, None] = {}
+    for atom in atoms:
+        for v in atom.variables:
+            head_vars.setdefault(v, None)
+    head = f"{name}({', '.join(head_vars)})"
+    body = ", ".join(
+        f"{a.relation}({', '.join(a.variables)})" for a in atoms
+    )
+    return f"{head} :- {body}"
 
 
 def prefix_queries(atoms):
     """The proper connected left-deep prefixes (the *intermediates*)."""
     for k in range(2, len(atoms)):
-        yield ConjunctiveQuery(atoms[:k], name=f"prefix{k}")
+        yield atoms[:k]
 
 
-def plan_cost_by_bound(order, catalog, ps):
+def plan_cost_by_bound(order, client):
+    """Score a plan by its largest intermediate's served ℓp bound."""
     worst = 0.0
     for prefix in prefix_queries(order):
-        stats = catalog.statistics_for(prefix, ps=ps)
-        worst = max(worst, lp_bound(stats, query=prefix).log2_bound)
+        response = client.bound(query=datalog_text(prefix))
+        worst = max(worst, response.log2_bound)
     return worst
 
 
 def plan_cost_by_estimate(order, db):
     worst = -math.inf
     for prefix in prefix_queries(order):
-        worst = max(worst, textbook_estimate_log2(prefix, db))
+        query = ConjunctiveQuery(prefix, name="prefix")
+        worst = max(worst, textbook_estimate_log2(query, db))
     return worst
 
 
 def true_worst_intermediate(order, db):
     worst = 0
     for prefix in prefix_queries(order):
-        worst = max(worst, acyclic_count(prefix, db))
+        query = ConjunctiveQuery(prefix, name="prefix")
+        worst = max(worst, acyclic_count(query, db))
     return worst
 
 
@@ -67,8 +90,14 @@ def main() -> None:
         Atom("R3", ("c", "d")),
         Atom("R4", ("d", "e")),
     ]
-    catalog = StatisticsCatalog(db)
-    ps = [1.0, 2.0, 3.0, 4.0, math.inf]
+    ps = (1.0, 2.0, 3.0, 4.0, math.inf)
+
+    # the long-lived service an optimizer would call into: statistics
+    # and solver caches live across all of the planner's requests
+    service = BoundService(db, ps=ps)
+    server = start_server(service)
+    print(f"bound service at {server.url} "
+          f"(lp mode: {service.solver.resolved_lp_mode()})\n")
 
     connected_orders = []
     for perm in itertools.permutations(atoms):
@@ -85,16 +114,18 @@ def main() -> None:
     def label(order):
         return " ⋈ ".join(a.relation for a in order)
 
-    scored = []
-    for order in connected_orders:
-        scored.append(
-            (
-                label(order),
-                plan_cost_by_bound(order, catalog, ps),
-                plan_cost_by_estimate(order, db),
-                true_worst_intermediate(order, db),
+    with BoundClient(server.url) as client:
+        scored = []
+        for order in connected_orders:
+            scored.append(
+                (
+                    label(order),
+                    plan_cost_by_bound(order, client),
+                    plan_cost_by_estimate(order, db),
+                    true_worst_intermediate(order, db),
+                )
             )
-        )
+        metrics = client.metrics()
     by_bound = min(scored, key=lambda row: row[1])
     by_estimate = min(scored, key=lambda row: row[2])
 
@@ -116,8 +147,18 @@ def main() -> None:
     print(f"estimator pick's true worst intermediate: {by_estimate[3]:,}")
     full = ConjunctiveQuery(atoms, name="chain")
     print(f"final output (any plan): {acyclic_count(full, db):,} tuples")
-    print(f"catalog served {catalog.cached_norms()} norms from "
-          f"{catalog.cached_sequences()} degree sequences (computed once)")
+
+    solver = metrics["solver"]
+    stats_cache = metrics["statistics_cache"]
+    latency = metrics["latency"]["bound"]
+    print(f"\nservice answered {metrics['requests']['bound']} bound requests:")
+    print(f"  result memo hits      : {solver['result_hits']} "
+          f"(solved {solver['solves']} distinct LPs)")
+    print(f"  statistics cache      : {stats_cache['hits']} hits / "
+          f"{stats_cache['misses']} misses")
+    print(f"  warm latency          : p50 {latency['p50_ms']:.3f} ms, "
+          f"p99 {latency['p99_ms']:.3f} ms")
+    server.shutdown()
 
 
 if __name__ == "__main__":

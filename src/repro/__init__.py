@@ -13,8 +13,8 @@ Quick start::
     stats = collect_statistics(q, db, ps=[1, 2, 3, float("inf")])
     print(lp_bound(stats, query=q).bound)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See docs/architecture.md for the paper-to-code map and the subsystem
+design notes, and docs/service.md for the bound-serving service.
 """
 
 from .core import (

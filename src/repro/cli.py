@@ -7,6 +7,9 @@ Commands
     files, and print the bound with its certificate.
 ``experiment``
     Run one of the paper experiments (E1–E13) and print its table.
+``serve``
+    Run the long-lived bound-serving HTTP service over CSV tables
+    (see ``docs/service.md`` for the API and runbook).
 ``list``
     List available experiments.
 
@@ -18,6 +21,8 @@ Examples
     python -m repro experiment E7
     python -m repro bound --query "Q(x,y,z) :- R(x,y), R(y,z), R(z,x)" \
         --table R=edges.csv --norms 1,2,3,inf
+    python -m repro serve --table R=edges.csv --port 8750 \
+        --warm "Q(x,y,z) :- R(x,y), R(y,z), R(z,x)"
 """
 
 from __future__ import annotations
@@ -314,6 +319,48 @@ def _run_experiment_main(module, params, kwargs) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core import LpUnavailableError, set_lp_mode
+    from .service import BoundService, BoundServiceServer, ServiceError
+
+    if args.lp is not None:
+        try:
+            set_lp_mode(args.lp)
+        except LpUnavailableError as exc:
+            print(f"--lp: {exc}", file=sys.stderr)
+            return 2
+    relations = {}
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"--table expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        relations[name] = _load_csv_relation(path, name)
+    if not relations:
+        print("serve needs at least one --table NAME=PATH", file=sys.stderr)
+        return 2
+    service = BoundService(Database(relations), ps=tuple(args.norms))
+    if args.warm:
+        try:
+            warmed = service.precompute(args.warm)
+        except ServiceError as exc:
+            print(f"--warm: {exc.message}", file=sys.stderr)
+            return 2
+        print(f"warmed {warmed} query template(s)", file=sys.stderr)
+    server = BoundServiceServer(
+        service, (args.host, args.port), log_requests=args.log_requests
+    )
+    print(f"serving on {server.url} (lp mode: "
+          f"{service.solver.resolved_lp_mode()}); Ctrl-C stops", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for key, module_name in EXPERIMENTS.items():
         print(f"{key:5s} repro.experiments.{module_name}")
@@ -462,6 +509,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-budget/--deadline) (requires --parallel-workers)",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve", help="run the bound-serving HTTP service over CSV tables"
+    )
+    serve.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="CSV file backing a relation (repeatable; at least one)",
+    )
+    serve.add_argument(
+        "--norms",
+        type=_parse_norms,
+        default=[1.0, 2.0, math.inf],
+        help="norm family collected per query, e.g. 1,2,inf (requests "
+        "may restrict to a sub-family but not widen it)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (default: 8750; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="query template to precompute at startup (repeatable): one "
+        "batched statistics pass plus one solve, so the first real "
+        "request is already a cache hit",
+    )
+    serve.add_argument(
+        "--lp",
+        choices=("auto", "persistent", "oneshot"),
+        default=None,
+        help="LP solve mode: 'persistent' keeps one warm HiGHS model "
+        "per LP structure (install repro[service]), 'oneshot' forces "
+        "the scipy path, 'auto' (the default) uses persistent when "
+        "highspy is available; bounds agree to 1e-6 across modes",
+    )
+    serve.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     lister = sub.add_parser("list", help="list available experiments")
     lister.set_defaults(func=_cmd_list)

@@ -13,12 +13,19 @@ from .conditionals import (
 from .degree import average_degree, degree_sequence, max_degree
 from .lp_bound import (
     CONES,
+    LP_MODES,
     BoundResult,
     BoundSolver,
     BoundTask,
     BoundTaskError,
+    LpUnavailableError,
+    active_lp_mode,
+    configured_lp_mode,
+    forced_lp_mode,
+    highspy_available,
     lp_bound,
     lp_bound_many,
+    set_lp_mode,
 )
 from .norms import (
     log2_norm,
@@ -47,7 +54,14 @@ __all__ = [
     "BoundSolver",
     "BoundTask",
     "BoundTaskError",
+    "LpUnavailableError",
     "CONES",
+    "LP_MODES",
+    "active_lp_mode",
+    "configured_lp_mode",
+    "forced_lp_mode",
+    "highspy_available",
+    "set_lp_mode",
     "product_form",
     "verify_certificate",
     "certificate_gap",

@@ -125,6 +125,15 @@ class StatisticsCatalog:
         """Degree sequences served by the prefix-sharing batch kernel."""
         return self._batched_sequences
 
+    def cache_stats(self) -> dict[str, int]:
+        """All cache counters as one dict (the service's ``/metrics``)."""
+        return {
+            "sequences": len(self._sequences),
+            "norms": len(self._norms),
+            "lexsorts": self._lexsorts,
+            "sequences_batched": self._batched_sequences,
+        }
+
     # ------------------------------------------------------------------
     def sequence(
         self,

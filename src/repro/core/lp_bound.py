@@ -25,6 +25,30 @@ cones:
 
 Results carry dual weights: the witness inequality (8) behind the bound
 and therefore "which norms were used" (the paper's Fig. 1 Norms column).
+
+Solve modes
+-----------
+Two solve paths answer every LP, selected by a process-wide *LP mode*
+(``REPRO_LP``, mirroring ``REPRO_KERNELS``):
+
+``REPRO_LP=oneshot``
+    :func:`scipy.optimize.linprog` (method ``highs``), one cold solve per
+    request.  This is the oracle path — :func:`lp_bound` always uses it.
+``REPRO_LP=persistent``
+    A long-lived :mod:`highspy` model per (cone, order, structure),
+    cached by :class:`BoundSolver` next to its assemblies: re-solves swap
+    only the statistic rows' bounds, so HiGHS warm-starts from the
+    previous basis instead of re-presolving and solving cold.  Requires
+    the ``repro[service]`` extra; raises :class:`LpUnavailableError`
+    without it.
+``REPRO_LP=auto`` (default)
+    ``persistent`` when :mod:`highspy` is importable, else ``oneshot``.
+
+Both paths solve the *identical* constraint system; optima agree to
+solver tolerance (the differential suite ``tests/core/test_lp_modes.py``
+enforces 1e-6 on ``log2_bound`` across the E-family), but last-bit
+values and degenerate dual witnesses may differ — anything that needs
+bit-identical numbers pins ``oneshot``.
 """
 
 from __future__ import annotations
@@ -33,6 +57,7 @@ import math
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Iterable, Sequence
@@ -51,15 +76,110 @@ __all__ = [
     "BoundSolver",
     "BoundTask",
     "BoundTaskError",
+    "LpUnavailableError",
     "lp_bound",
     "lp_bound_many",
     "CONES",
+    "LP_MODES",
+    "active_lp_mode",
+    "configured_lp_mode",
+    "forced_lp_mode",
+    "highspy_available",
+    "set_lp_mode",
 ]
 
 CONES = ("auto", "polymatroid", "normal", "modular")
 
 _POLYMATROID_MAX_VARS = 14
 _NORMAL_MAX_VARS = 22
+
+# ----------------------------------------------------------------------
+# LP solve modes (REPRO_LP), mirroring relational.kernels' REPRO_KERNELS
+# ----------------------------------------------------------------------
+
+LP_MODES = ("auto", "persistent", "oneshot")
+
+_LP_ENV_VAR = "REPRO_LP"
+
+
+class LpUnavailableError(RuntimeError):
+    """The ``persistent`` LP mode was requested but highspy is missing."""
+
+
+try:  # pragma: no cover - exercised on the CI service leg
+    import highspy as _highspy
+
+    _HAVE_HIGHSPY = True
+except ImportError:
+    _highspy = None
+    _HAVE_HIGHSPY = False
+
+
+def highspy_available() -> bool:
+    """Whether the persistent warm-started path can run in this process."""
+    return _HAVE_HIGHSPY
+
+
+def configured_lp_mode() -> str:
+    """The mode requested by ``REPRO_LP`` (default ``auto``)."""
+    mode = os.environ.get(_LP_ENV_VAR, "auto").strip().lower() or "auto"
+    if mode not in LP_MODES:
+        raise ValueError(
+            f"{_LP_ENV_VAR}={mode!r} is not one of {', '.join(LP_MODES)}"
+        )
+    return mode
+
+
+def _resolve_lp_mode(mode: str) -> str:
+    if mode not in LP_MODES:
+        raise ValueError(
+            f"LP mode {mode!r} is not one of {', '.join(LP_MODES)}"
+        )
+    if mode == "auto":
+        return "persistent" if _HAVE_HIGHSPY else "oneshot"
+    if mode == "persistent" and not _HAVE_HIGHSPY:
+        raise LpUnavailableError(
+            "LP mode 'persistent' requested but highspy is not importable; "
+            "install the optional extra (pip install 'repro[service]') "
+            "or use REPRO_LP=oneshot"
+        )
+    return mode
+
+
+#: The resolved mode (``"persistent"`` | ``"oneshot"``), lazily bound so
+#: importing the package never fails — a bad ``REPRO_LP`` value or a
+#: missing highspy surfaces on the first governed solve (or an explicit
+#: :func:`set_lp_mode`), with a message naming the fix.
+_LP_ACTIVE: str | None = None
+
+
+def active_lp_mode() -> str:
+    """The resolved LP mode of this process."""
+    global _LP_ACTIVE
+    if _LP_ACTIVE is None:
+        _LP_ACTIVE = _resolve_lp_mode(configured_lp_mode())
+    return _LP_ACTIVE
+
+
+def set_lp_mode(mode: str | None = None) -> str:
+    """Pin the process-wide LP mode (``None`` re-reads ``REPRO_LP``)."""
+    global _LP_ACTIVE
+    if mode is None:
+        mode = configured_lp_mode()
+    _LP_ACTIVE = _resolve_lp_mode(mode)
+    return _LP_ACTIVE
+
+
+@contextmanager
+def forced_lp_mode(mode: str):
+    """Temporarily pin the LP mode (tests and benchmarks)."""
+    global _LP_ACTIVE
+    previous = _LP_ACTIVE
+    _LP_ACTIVE = _resolve_lp_mode(mode)
+    try:
+        yield _LP_ACTIVE
+    finally:
+        _LP_ACTIVE = previous
 
 
 @dataclass
@@ -296,6 +416,51 @@ def _assemble_step_cone(
     return _Assembly(cone, len(struct), a_ub, c, bounds, None, candidates)
 
 
+def _optimal_result(
+    assembly: _Assembly,
+    variables: tuple[str, ...],
+    statistics: StatisticsSet,
+    log2_bound: float,
+    x: np.ndarray,
+    stat_duals: np.ndarray,
+) -> BoundResult:
+    """Wrap an optimal (objective, primal, stat duals) into a BoundResult.
+
+    Shared by the scipy one-shot path and the persistent HiGHS path — the
+    two differ only in how the raw solution was produced.
+    """
+    if assembly.cone == "polymatroid":
+        return BoundResult(
+            log2_bound,
+            "polymatroid",
+            "optimal",
+            variables,
+            statistics,
+            dual_weights=stat_duals,
+            h_values=np.asarray(x, float),
+        )
+    alpha = {
+        int(w): float(a)
+        for w, a in zip(assembly.candidates, x)
+        if a > 1e-12
+    }
+    size = 1 << len(variables)
+    h_values = np.zeros(size)
+    for w_mask, a in alpha.items():
+        masks = np.arange(size)
+        h_values[(masks & w_mask) != 0] += a
+    return BoundResult(
+        log2_bound,
+        assembly.cone,
+        "optimal",
+        variables,
+        statistics,
+        dual_weights=stat_duals,
+        h_values=h_values,
+        normal_coefficients=alpha,
+    )
+
+
 def _solve_assembly(
     assembly: _Assembly,
     b_stats: np.ndarray,
@@ -338,40 +503,111 @@ def _solve_assembly(
         )
     if cone == "polymatroid":
         duals = -np.asarray(res.ineqlin.marginals[: assembly.num_stats], float)
-        return BoundResult(
-            float(-res.fun),
-            cone,
-            "optimal",
-            variables,
-            statistics,
-            dual_weights=duals,
-            h_values=np.asarray(res.x, float),
+    elif assembly.num_stats:
+        duals = -np.asarray(res.ineqlin.marginals, float)
+    else:
+        duals = np.zeros(0)
+    return _optimal_result(
+        assembly, variables, statistics, float(-res.fun), res.x, duals
+    )
+
+
+class _PersistentModel:
+    """A long-lived HiGHS model for one cached assembly.
+
+    Built once per (cone, order, structure) from the same matrices the
+    one-shot path hands to scipy; every re-solve swaps only the statistic
+    rows' upper bounds (the Shannon rows stay ≤ 0), so HiGHS keeps the
+    previous basis and warm-starts the simplex instead of solving cold.
+    Thread-safe: one model is shared across :func:`lp_bound_many`'s
+    thread pool, serialised by a per-model lock (HiGHS instances are not
+    reentrant).
+    """
+
+    def __init__(self, assembly: _Assembly) -> None:
+        if not _HAVE_HIGHSPY:  # pragma: no cover - guarded by callers
+            raise LpUnavailableError("highspy is not importable")
+        if not assembly.num_stats:
+            raise ValueError("persistent models need ≥ 1 statistic row")
+        self._assembly = assembly
+        self._lock = threading.Lock()
+        self.resolves = 0
+        matrix = sparse.csr_matrix(assembly.a_ub)
+        num_rows, num_cols = matrix.shape
+        inf = _highspy.kHighsInf
+        lp = _highspy.HighsLp()
+        lp.num_col_ = num_cols
+        lp.num_row_ = num_rows
+        lp.col_cost_ = np.asarray(assembly.c, dtype=np.float64)
+        lp.col_lower_ = np.array(
+            [low for low, _ in assembly.bounds], dtype=np.float64
         )
-    duals = (
-        -np.asarray(res.ineqlin.marginals, float)
-        if assembly.num_stats
-        else np.zeros(0)
-    )
-    alpha = {
-        int(w): float(a)
-        for w, a in zip(assembly.candidates, res.x)
-        if a > 1e-12
-    }
-    size = 1 << len(variables)
-    h_values = np.zeros(size)
-    for w_mask, a in alpha.items():
-        masks = np.arange(size)
-        h_values[(masks & w_mask) != 0] += a
-    return BoundResult(
-        float(-res.fun),
-        cone,
-        "optimal",
-        variables,
-        statistics,
-        dual_weights=duals,
-        h_values=h_values,
-        normal_coefficients=alpha,
-    )
+        lp.col_upper_ = np.array(
+            [inf if high is None else high for _, high in assembly.bounds],
+            dtype=np.float64,
+        )
+        lp.row_lower_ = np.full(num_rows, -inf)
+        lp.row_upper_ = np.zeros(num_rows)
+        lp.a_matrix_.format_ = _highspy.MatrixFormat.kRowwise
+        lp.a_matrix_.start_ = matrix.indptr
+        lp.a_matrix_.index_ = matrix.indices
+        lp.a_matrix_.value_ = matrix.data
+        solver = _highspy.Highs()
+        solver.setOptionValue("output_flag", False)
+        solver.passModel(lp)
+        self._solver = solver
+        self._inf = inf
+
+    def solve(
+        self,
+        b_stats: np.ndarray,
+        variables: tuple[str, ...],
+        statistics: StatisticsSet,
+    ) -> BoundResult:
+        assembly = self._assembly
+        with self._lock:
+            solver = self._solver
+            for i, value in enumerate(np.asarray(b_stats, dtype=float)):
+                solver.changeRowBounds(i, -self._inf, float(value))
+            solver.run()
+            status = solver.getModelStatus()
+            Status = _highspy.HighsModelStatus
+            if status in (Status.kUnbounded, Status.kUnboundedOrInfeasible):
+                # h ≡ 0 is always feasible for our LPs (b ≥ 0), so an
+                # ambiguous presolve verdict means unbounded in practice
+                return BoundResult(
+                    math.inf,
+                    assembly.cone,
+                    "unbounded",
+                    variables,
+                    statistics,
+                )
+            if status == Status.kInfeasible:
+                return BoundResult(
+                    -math.inf,
+                    assembly.cone,
+                    "infeasible",
+                    variables,
+                    statistics,
+                )
+            if status != Status.kOptimal:
+                return BoundResult(
+                    math.nan,
+                    assembly.cone,
+                    f"error: {solver.modelStatusToString(status)}",
+                    variables,
+                    statistics,
+                )
+            self.resolves += 1
+            solution = solver.getSolution()
+            x = np.asarray(solution.col_value, dtype=float)
+            duals = -np.asarray(
+                solution.row_dual[: assembly.num_stats], dtype=float
+            )
+            objective = float(solver.getObjectiveValue())
+        return _optimal_result(
+            assembly, variables, statistics, -objective, x, duals
+        )
 
 
 def _polymatroid_lp(
@@ -482,30 +718,56 @@ class BoundSolver:
       candidate plan re-costs the same subqueries) are answered without
       calling the LP solver at all.
 
-    Every fresh solve goes through the exact code path of :func:`lp_bound`
-    on a bit-identical constraint matrix, so results are numerically
-    identical to the one-shot path; memo hits return the previously
-    computed numbers re-bound to the caller's statistics set.  Thread-safe
-    (used by :func:`lp_bound_many`).
+    Under LP mode ``oneshot`` every fresh solve goes through the exact
+    code path of :func:`lp_bound` on a bit-identical constraint matrix,
+    so results are numerically identical to the one-shot path; memo hits
+    return the previously computed numbers re-bound to the caller's
+    statistics set.  Under ``persistent`` (see the module docstring) the
+    solver additionally keeps one warm :class:`_PersistentModel` per
+    assembly and re-solves swap only the statistic bounds — optima agree
+    with the oracle to solver tolerance, not bit-identically.
+    Thread-safe (used by :func:`lp_bound_many`).
+
+    ``lp_mode`` pins this solver to a mode; ``None`` (default) follows
+    the process-wide :func:`active_lp_mode` at each solve.
     """
 
-    def __init__(self, memoize_results: bool = True) -> None:
+    def __init__(
+        self, memoize_results: bool = True, lp_mode: str | None = None
+    ) -> None:
+        if lp_mode is not None and lp_mode not in LP_MODES:
+            raise ValueError(
+                f"lp_mode {lp_mode!r} is not one of {', '.join(LP_MODES)}"
+            )
         self._assemblies: dict[tuple, _Assembly] = {}
+        self._models: dict[tuple, _PersistentModel] = {}
         self._results: dict[tuple, BoundResult] = {}
         self._memoize = memoize_results
+        self._lp_mode = lp_mode
         self._lock = threading.Lock()
         self.assembly_hits = 0
         self.assembly_misses = 0
         self.result_hits = 0
         self.solves = 0
+        self.persistent_resolves = 0
         self.family_slices = 0
 
     # ------------------------------------------------------------------
     def cached_assemblies(self) -> int:
         return len(self._assemblies)
 
+    def cached_models(self) -> int:
+        """Warm persistent HiGHS models held (0 under ``oneshot``)."""
+        return len(self._models)
+
     def cached_results(self) -> int:
         return len(self._results)
+
+    def resolved_lp_mode(self) -> str:
+        """The concrete mode this solver's next fresh solve will use."""
+        if self._lp_mode is not None:
+            return _resolve_lp_mode(self._lp_mode)
+        return active_lp_mode()
 
     # ------------------------------------------------------------------
     def _assembly_for(
@@ -575,12 +837,34 @@ class BoundSolver:
                     return replace(cached, statistics=statistics)
         if assembly is None:
             assembly = self._assembly_for(cone, order, struct)
-        result = _solve_assembly(assembly, b_stats, order, statistics)
+        if self.resolved_lp_mode() == "persistent" and assembly.num_stats:
+            model = self._model_for(cone, order, struct, assembly)
+            result = model.solve(b_stats, order, statistics)
+            with self._lock:
+                self.persistent_resolves += 1
+        else:
+            result = _solve_assembly(assembly, b_stats, order, statistics)
         with self._lock:
             self.solves += 1
             if memo_key is not None:
                 self._results[memo_key] = result
         return result
+
+    def _model_for(
+        self,
+        cone: str,
+        order: tuple[str, ...],
+        struct: tuple[tuple[int, int, float], ...],
+        assembly: _Assembly,
+    ) -> _PersistentModel:
+        key = (cone, order, struct)
+        with self._lock:
+            model = self._models.get(key)
+        if model is None:
+            model = _PersistentModel(assembly)
+            with self._lock:
+                model = self._models.setdefault(key, model)
+        return model
 
     def solve_family(
         self,

@@ -3,7 +3,8 @@
 Everything is seeded and deterministic.  Four families:
 
 * :func:`power_law_graph` — heavy-tailed random graphs standing in for the
-  SNAP datasets (see DESIGN.md for the substitution argument);
+  SNAP datasets (see :mod:`repro.datasets.snap` for the substitution
+  argument);
 * :func:`alpha_beta_relation` — the (α,β)-relations of Definition C.1
   (M^α values of degree M^β, the rest of degree 1, on both sides), the
   paper's gadget for every asymptotic separation;

@@ -9,7 +9,8 @@ social networks (soc-*) and twitter heavy skew — mirroring the published
 degree profiles that drive the paper's numbers (e.g. soc-LiveJournal's
 {1,∞} ratio being ~80× worse than ca-GrQc's).
 
-See DESIGN.md §3 for the substitution rationale.
+See docs/architecture.md for where these stand-ins sit in the
+reproduction's paper-to-code map.
 """
 
 from __future__ import annotations

@@ -5,7 +5,8 @@ Lemma 2.4 reduces evaluation under ℓp statistics to evaluation under
 algorithm" as a black box with runtime Õ(Π_i B_i^{w_i}).
 
 Full PANDA (proof-sequence-driven, with disjunctive datalog rewrites) is
-far outside this reproduction's scope; per DESIGN.md we substitute the
+far outside this reproduction's scope; per docs/architecture.md we
+substitute the
 generic worst-case-optimal join of :mod:`repro.evaluation.wcoj`, which
 meets the required product bound on the degree-uniform parts produced by
 Lemma 2.5 for the workloads we evaluate, and we *meter* the actual work so

@@ -2,7 +2,8 @@
 
 The Theorem 2.6 evaluator's part combinations are embarrassingly
 parallel: each combination pins one Lemma 2.5 part per atom, parts are
-disjoint row-slices, and PR 5 established that every output binding
+disjoint row-slices, and the partitioned-evaluation suite established
+that every output binding
 survives in *exactly one* combination — counts add, spill segments
 concatenate, no union pass.  :func:`evaluate_parallel` exploits that
 with a shared-nothing fan-out: each part combination is shipped to a

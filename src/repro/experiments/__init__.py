@@ -1,4 +1,4 @@
-"""Experiments: one module per table/figure of the paper (see DESIGN.md §4).
+"""Experiments: one module per table/figure of the paper (see docs/architecture.md).
 
 | id  | paper artifact        | module                |
 |-----|-----------------------|-----------------------|

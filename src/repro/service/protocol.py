@@ -1,0 +1,313 @@
+"""JSON wire protocol of the bound-serving service.
+
+Requests and responses are flat JSON objects; every message type has a
+``from_payload`` / ``to_payload`` pair so the server, the client, and the
+tests share one codec.  Non-finite floats (p = ∞ above all) are encoded
+as the strings ``"inf"`` / ``"-inf"`` / ``"nan"`` — standard JSON has no
+Infinity literal, and the CLI already spells ℓ∞ as ``inf``.
+
+Failures travel as :class:`ServiceError`: a *typed* error with a stable
+``code`` (see :data:`ERROR_CODES`) and an HTTP status, rendered as
+``{"error": {"code", "message", "detail"}}``.  Budget verdicts from a
+governed evaluation are errors of this kind — a request the service
+*refused to finish* is an application outcome (422), never a 500.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "ERROR_CODES",
+    "BoundRequest",
+    "BoundResponse",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "ServiceError",
+    "decode_float",
+    "encode_float",
+]
+
+#: Stable error codes and the HTTP status each is served with.
+ERROR_CODES = {
+    "bad-request": 400,       # malformed JSON / missing or mistyped field
+    "parse-error": 400,       # query text did not parse
+    "unknown-relation": 400,  # query names a relation the DB lacks
+    "not-found": 404,         # unknown endpoint
+    "budget-memory": 422,     # evaluation hit its hard memory cap
+    "budget-deadline": 422,   # evaluation ran past its deadline
+    "budget-cancelled": 422,  # evaluation's cancellation token flipped
+    "internal": 500,          # anything else (a bug — report it)
+}
+
+
+class ServiceError(Exception):
+    """A typed, HTTP-mappable service failure."""
+
+    def __init__(
+        self, code: str, message: str, detail: Mapping[str, Any] | None = None
+    ) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_CODES[self.code]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "detail": self.detail,
+            }
+        }
+
+
+def encode_float(value: float) -> float | str:
+    """A float as JSON: finite numbers pass through, ∞/nan become strings."""
+    value = float(value)
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+
+def decode_float(value: Any, *, context: str = "value") -> float:
+    """The inverse of :func:`encode_float`; raises a typed error."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ServiceError(
+            "bad-request", f"{context} must be a number or 'inf', got {value!r}"
+        )
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in ("inf", "infinity", "∞"):
+            return math.inf
+        if text in ("-inf", "-infinity"):
+            return -math.inf
+        if text == "nan":
+            return math.nan
+        try:
+            return float(text)
+        except ValueError:
+            raise ServiceError(
+                "bad-request", f"unparseable {context}: {value!r}"
+            ) from None
+    return float(value)
+
+
+def _require_str(payload: Mapping[str, Any], key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value.strip():
+        raise ServiceError(
+            "bad-request", f"field {key!r} must be a non-empty string"
+        )
+    return value
+
+
+def _float_tuple(value: Any, context: str) -> tuple[float, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ServiceError(
+            "bad-request", f"{context} must be a non-empty list of norms"
+        )
+    return tuple(decode_float(v, context=context) for v in value)
+
+
+@dataclass(frozen=True)
+class BoundRequest:
+    """``POST /bound`` — a cardinality-bound request.
+
+    ``family`` (optional) restricts the collected statistics to that norm
+    sub-family via :meth:`repro.core.BoundSolver.solve_family` — the AGM
+    baseline is ``family=[1]``, PANDA's is ``family=[1, "inf"]``.
+    """
+
+    query: str
+    ps: tuple[float, ...] = (1.0, 2.0, math.inf)
+    cone: str = "auto"
+    family: tuple[float, ...] | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BoundRequest":
+        if not isinstance(payload, Mapping):
+            raise ServiceError("bad-request", "request body must be an object")
+        known = {"query", "ps", "cone", "family"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(
+                "bad-request", f"unknown field(s): {sorted(unknown)}"
+            )
+        query = _require_str(payload, "query")
+        ps = (
+            _float_tuple(payload["ps"], "ps")
+            if "ps" in payload
+            else (1.0, 2.0, math.inf)
+        )
+        cone = payload.get("cone", "auto")
+        if not isinstance(cone, str):
+            raise ServiceError("bad-request", "field 'cone' must be a string")
+        family = (
+            _float_tuple(payload["family"], "family")
+            if payload.get("family") is not None
+            else None
+        )
+        return cls(query=query, ps=ps, cone=cone, family=family)
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "query": self.query,
+            "ps": [encode_float(p) for p in self.ps],
+            "cone": self.cone,
+        }
+        if self.family is not None:
+            payload["family"] = [encode_float(p) for p in self.family]
+        return payload
+
+
+@dataclass(frozen=True)
+class BoundResponse:
+    """The service's answer to a :class:`BoundRequest`."""
+
+    log2_bound: float
+    bound: float
+    cone: str
+    status: str
+    norms_used: tuple[float, ...]
+    certificate: str
+    cached: bool
+    elapsed_ms: float
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BoundResponse":
+        try:
+            return cls(
+                log2_bound=decode_float(
+                    payload["log2_bound"], context="log2_bound"
+                ),
+                bound=decode_float(payload["bound"], context="bound"),
+                cone=payload["cone"],
+                status=payload["status"],
+                norms_used=tuple(
+                    decode_float(p, context="norms_used")
+                    for p in payload["norms_used"]
+                ),
+                certificate=payload["certificate"],
+                cached=bool(payload["cached"]),
+                elapsed_ms=float(payload["elapsed_ms"]),
+            )
+        except KeyError as exc:
+            raise ServiceError(
+                "bad-request", f"bound response missing field {exc}"
+            ) from exc
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "log2_bound": encode_float(self.log2_bound),
+            "bound": encode_float(self.bound),
+            "cone": self.cone,
+            "status": self.status,
+            "norms_used": [encode_float(p) for p in self.norms_used],
+            "certificate": self.certificate,
+            "cached": self.cached,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """``POST /evaluate`` — count a query's output under a budget.
+
+    ``memory_budget`` takes the CLI's ``"HARD"`` / ``"SOFT:HARD"`` spec
+    (K/M/G suffixes); together with ``deadline_seconds`` it becomes the
+    per-request :class:`repro.evaluation.EvaluationBudget` the dispatched
+    evaluation runs under.
+    """
+
+    query: str
+    memory_budget: str | None = None
+    deadline_seconds: float | None = None
+    frontier_block: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "EvaluateRequest":
+        if not isinstance(payload, Mapping):
+            raise ServiceError("bad-request", "request body must be an object")
+        known = {"query", "memory_budget", "deadline_seconds", "frontier_block"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(
+                "bad-request", f"unknown field(s): {sorted(unknown)}"
+            )
+        query = _require_str(payload, "query")
+        memory = payload.get("memory_budget")
+        if memory is not None and not isinstance(memory, str):
+            raise ServiceError(
+                "bad-request",
+                "field 'memory_budget' must be a 'HARD' or 'SOFT:HARD' string",
+            )
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None:
+            deadline = decode_float(deadline, context="deadline_seconds")
+        block = payload.get("frontier_block")
+        if block is not None:
+            if not isinstance(block, int) or isinstance(block, bool) or block < 1:
+                raise ServiceError(
+                    "bad-request", "field 'frontier_block' must be an int ≥ 1"
+                )
+        return cls(
+            query=query,
+            memory_budget=memory,
+            deadline_seconds=deadline,
+            frontier_block=block,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"query": self.query}
+        if self.memory_budget is not None:
+            payload["memory_budget"] = self.memory_budget
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = encode_float(self.deadline_seconds)
+        if self.frontier_block is not None:
+            payload["frontier_block"] = self.frontier_block
+        return payload
+
+
+@dataclass(frozen=True)
+class EvaluateResponse:
+    """The service's answer to an :class:`EvaluateRequest`."""
+
+    count: int
+    nodes_visited: int
+    elapsed_ms: float
+    degradations: tuple[str, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "EvaluateResponse":
+        try:
+            return cls(
+                count=int(payload["count"]),
+                nodes_visited=int(payload["nodes_visited"]),
+                elapsed_ms=float(payload["elapsed_ms"]),
+                degradations=tuple(payload.get("degradations", ())),
+            )
+        except KeyError as exc:
+            raise ServiceError(
+                "bad-request", f"evaluate response missing field {exc}"
+            ) from exc
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "nodes_visited": self.nodes_visited,
+            "elapsed_ms": self.elapsed_ms,
+            "degradations": list(self.degradations),
+        }

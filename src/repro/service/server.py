@@ -1,0 +1,265 @@
+"""Stdlib HTTP front-end for :class:`~repro.service.service.BoundService`.
+
+A :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
+HTTP/1.1 keep-alive) serving four endpoints:
+
+``POST /bound``
+    :class:`~repro.service.protocol.BoundRequest` →
+    :class:`~repro.service.protocol.BoundResponse`.
+``POST /evaluate``
+    :class:`~repro.service.protocol.EvaluateRequest` →
+    :class:`~repro.service.protocol.EvaluateResponse`; budget verdicts
+    come back as typed 422s, never a 500.
+``GET /metrics``
+    The service's counters, cache hit rates, and latency percentiles.
+``GET /healthz``
+    Liveness probe.
+
+:func:`start_server` runs the server on a daemon thread (tests,
+examples, benchmarks); the CLI's ``repro serve`` drives
+:meth:`~socketserver.BaseServer.serve_forever` on the main thread.
+:class:`BoundClient` is the matching stdlib client, reusing one
+keep-alive connection per instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .protocol import (
+    BoundRequest,
+    BoundResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    ServiceError,
+)
+from .service import BoundService
+
+__all__ = ["BoundServiceServer", "BoundClient", "start_server"]
+
+#: Request bodies beyond this are refused (typed, before JSON parsing).
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 enables keep-alive: a planner loop issues thousands of
+    # requests over one connection instead of a TCP handshake per bound
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-bound-service"
+    # headers and body are separate small writes; without TCP_NODELAY the
+    # second one can sit behind Nagle + delayed-ACK for ~40 ms per request
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "log_requests", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, error: ServiceError) -> None:
+        self._send_json(error.http_status, error.to_payload())
+
+    def _read_payload(self) -> dict[str, Any]:
+        length = self.headers.get("Content-Length")
+        try:
+            size = int(length or "")
+        except ValueError:
+            raise ServiceError(
+                "bad-request", "missing or invalid Content-Length"
+            ) from None
+        if size > _MAX_BODY_BYTES:
+            raise ServiceError(
+                "bad-request", f"request body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        body = self.rfile.read(size)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                "bad-request", f"request body is not JSON: {exc}"
+            ) from exc
+        return payload
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service: BoundService = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._send_json(200, service.metrics())
+        else:
+            self._send_error(
+                ServiceError("not-found", f"no such endpoint: GET {self.path}")
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service: BoundService = self.server.service
+        try:
+            payload = self._read_payload()
+            if self.path == "/bound":
+                response = service.bound(BoundRequest.from_payload(payload))
+            elif self.path == "/evaluate":
+                response = service.evaluate(
+                    EvaluateRequest.from_payload(payload)
+                )
+            else:
+                raise ServiceError(
+                    "not-found", f"no such endpoint: POST {self.path}"
+                )
+        except ServiceError as exc:
+            self._send_error(exc)
+            return
+        except Exception as exc:  # a bug, but the process must keep serving
+            self._send_error(
+                ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            )
+            return
+        self._send_json(200, response.to_payload())
+
+
+class BoundServiceServer(ThreadingHTTPServer):
+    """One service instance behind a threading HTTP server."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: BoundService,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        log_requests: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.log_requests = log_requests
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    service: BoundService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> BoundServiceServer:
+    """Start the HTTP front-end on a daemon thread and return it.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.url``).  Call ``server.shutdown()`` to stop.
+    """
+    server = BoundServiceServer(service, (host, port))
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="bound-service-http",
+        daemon=True,
+    )
+    thread.start()
+    server._serve_thread = thread
+    return server
+
+
+class BoundClient:
+    """A minimal stdlib client for the service's JSON protocol.
+
+    Reuses one keep-alive connection (reconnecting transparently when
+    the server closes it).  Raises
+    :class:`~repro.service.protocol.ServiceError` for typed error
+    responses, so callers handle budget verdicts by code.  Not
+    thread-safe — use one client per thread.
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        if url.startswith("http://"):
+            url = url[len("http://"):]
+        self._netloc = url.rstrip("/")
+        self._timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "BoundClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self._netloc, timeout=self._timeout
+                )
+                self._connection.connect()
+                # same Nagle/delayed-ACK stall as the server side: the
+                # request line+headers and the JSON body are two writes
+                self._connection.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            try:
+                self._connection.request(method, path, body, headers)
+                response = self._connection.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # a dropped keep-alive connection: reconnect once
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                "internal", f"non-JSON response ({response.status}): {exc}"
+            ) from exc
+        if response.status >= 400 or "error" in decoded:
+            error = decoded.get("error", {})
+            raise ServiceError(
+                error.get("code", "internal"),
+                error.get("message", f"HTTP {response.status}"),
+                detail=error.get("detail"),
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def bound(self, request: BoundRequest | None = None, **fields) -> BoundResponse:
+        """``bound(BoundRequest(...))`` or ``bound(query=..., ps=...)``."""
+        if request is None:
+            request = BoundRequest(**fields)
+        payload = self._request("POST", "/bound", request.to_payload())
+        return BoundResponse.from_payload(payload)
+
+    def evaluate(
+        self, request: EvaluateRequest | None = None, **fields
+    ) -> EvaluateResponse:
+        if request is None:
+            request = EvaluateRequest(**fields)
+        payload = self._request("POST", "/evaluate", request.to_payload())
+        return EvaluateResponse.from_payload(payload)

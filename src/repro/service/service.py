@@ -1,0 +1,340 @@
+"""The bound-serving service: hot caches behind a request interface.
+
+:class:`BoundService` is the long-lived object the ROADMAP's
+"millions of users" direction asks for: it owns one
+:class:`~repro.core.StatisticsCatalog` (degree sequences and norms
+computed once per database) and one :class:`~repro.core.BoundSolver`
+(constraint skeletons, warm persistent HiGHS models under
+``REPRO_LP=persistent``, and a result memo), and answers cardinality-
+bound requests at optimizer-call rates — the warm path (a repeated
+sub-plan during join-order search) is a dictionary hit plus JSON, well
+under a millisecond.
+
+Evaluation requests are the expensive product, so every one the service
+dispatches carries a per-request
+:class:`~repro.evaluation.EvaluationBudget` enforced by an
+:class:`~repro.evaluation.EvaluationGovernor`: an oversized query
+degrades along the proven ladder or stops with a *typed verdict*
+(:class:`~repro.service.protocol.ServiceError` codes ``budget-*``)
+instead of taking the process down — the next request is served as if
+nothing happened.
+
+The service is transport-agnostic; :mod:`repro.service.server` puts an
+HTTP front-end on it, and tests/benchmarks call it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+from ..core import BoundSolver, StatisticsCatalog, product_form
+from ..evaluation import (
+    CancellationToken,
+    EvaluationCancelled,
+    EvaluationDeadlineExceeded,
+    EvaluationGovernor,
+    MemoryBudgetExceeded,
+    ResourceGovernanceError,
+    budget_from_spec,
+    generic_join,
+)
+from ..query import ConjunctiveQuery, parse_query
+from ..relational import Database
+from ..relational.columnar import CountSink
+from .protocol import (
+    BoundRequest,
+    BoundResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    ServiceError,
+    encode_float,
+)
+
+__all__ = ["BoundService"]
+
+#: Per-endpoint latency samples kept for the /metrics percentiles.
+_LATENCY_WINDOW = 8192
+
+_VERDICT_CODES = {
+    MemoryBudgetExceeded: "budget-memory",
+    EvaluationDeadlineExceeded: "budget-deadline",
+    EvaluationCancelled: "budget-cancelled",
+}
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    rank = max(0, min(len(samples) - 1, round(q * (len(samples) - 1))))
+    return samples[rank]
+
+
+class BoundService:
+    """Precomputed statistics + hot solver caches behind request methods.
+
+    Parameters
+    ----------
+    db:
+        The served database; statistics are extracted lazily (or up
+        front via :meth:`precompute`) and cached for the process's life.
+    ps:
+        The norm family collected per query (requests may narrow it via
+        ``family`` but every request is served from this superset's
+        statistics, so distinct families share one catalog pass).
+    lp_mode:
+        Pins the solver's LP mode; ``None`` follows ``REPRO_LP``.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        ps: tuple[float, ...] = (1.0, 2.0, float("inf")),
+        lp_mode: str | None = None,
+    ) -> None:
+        self._db = db
+        self._ps = tuple(float(p) for p in ps)
+        self._catalog = StatisticsCatalog(db)
+        self._solver = BoundSolver(lp_mode=lp_mode)
+        self._queries: dict[str, ConjunctiveQuery] = {}
+        self._statistics: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self.requests = Counter()
+        self.errors = Counter()
+        self.statistics_hits = 0
+        self.statistics_misses = 0
+        self._latencies: dict[str, deque] = {
+            "bound": deque(maxlen=_LATENCY_WINDOW),
+            "evaluate": deque(maxlen=_LATENCY_WINDOW),
+        }
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    @property
+    def solver(self) -> BoundSolver:
+        return self._solver
+
+    @property
+    def catalog(self) -> StatisticsCatalog:
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    def precompute(self, query_texts: list[str] | tuple[str, ...]) -> int:
+        """Warm every cache layer for a known workload of query templates.
+
+        One batched catalog pass (shared lexsorts, multi-p norm batches)
+        plus one solve per template: after this, a request for any
+        warmed template is a result-memo hit.  Returns the number of
+        templates warmed.
+        """
+        queries = [self._parse(text) for text in query_texts]
+        stat_sets = self._catalog.precompute(queries, ps=self._ps)
+        for query, stats in zip(queries, stat_sets):
+            self._statistics[self._stats_key(query)] = stats
+            self._solver.solve(stats, query=query)
+        return len(queries)
+
+    # ------------------------------------------------------------------
+    def _parse(self, text: str) -> ConjunctiveQuery:
+        cached = self._queries.get(text)
+        if cached is not None:
+            return cached
+        try:
+            query = parse_query(text)
+        except ValueError as exc:
+            raise ServiceError("parse-error", str(exc)) from exc
+        for atom in query.atoms:
+            if atom.relation not in self._db:
+                raise ServiceError(
+                    "unknown-relation",
+                    f"query names relation {atom.relation!r}; the service "
+                    f"holds {sorted(self._db)}",
+                )
+        with self._lock:
+            return self._queries.setdefault(text, query)
+
+    def _stats_key(self, query: ConjunctiveQuery) -> str:
+        # the canonical rendering: textually different but equivalent
+        # request strings share one statistics entry
+        return str(query)
+
+    def _statistics_for(self, query: ConjunctiveQuery):
+        key = self._stats_key(query)
+        with self._lock:
+            stats = self._statistics.get(key)
+            if stats is not None:
+                self.statistics_hits += 1
+                return stats
+            self.statistics_misses += 1
+        stats = self._catalog.statistics_for(query, ps=self._ps)
+        with self._lock:
+            return self._statistics.setdefault(key, stats)
+
+    def _record(self, endpoint: str, elapsed_ms: float) -> None:
+        with self._lock:
+            self.requests[endpoint] += 1
+            self._latencies[endpoint].append(elapsed_ms)
+
+    def _fail(self, endpoint: str, error: ServiceError) -> ServiceError:
+        with self._lock:
+            self.requests[endpoint] += 1
+            self.errors[error.code] += 1
+        return error
+
+    # ------------------------------------------------------------------
+    def bound(self, request: BoundRequest) -> BoundResponse:
+        """Answer one cardinality-bound request from the hot caches."""
+        start = time.perf_counter()
+        try:
+            query = self._parse(request.query)
+            stats = self._statistics_for(query)
+            if request.cone not in ("auto", "polymatroid", "normal", "modular"):
+                raise ServiceError(
+                    "bad-request", f"unknown cone {request.cone!r}"
+                )
+            hits_before = self._solver.result_hits
+            try:
+                if request.family is not None:
+                    result = self._solver.solve_family(
+                        stats, request.family, query=query, cone=request.cone
+                    )
+                else:
+                    family = tuple(request.ps)
+                    if set(family) != set(self._ps):
+                        # a request for a narrower norm family is a
+                        # family restriction of the cached statistics
+                        result = self._solver.solve_family(
+                            stats, family, query=query, cone=request.cone
+                        )
+                    else:
+                        result = self._solver.solve(
+                            stats, query=query, cone=request.cone
+                        )
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc)) from exc
+            cached = self._solver.result_hits > hits_before
+        except ServiceError as exc:
+            raise self._fail("bound", exc)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        self._record("bound", elapsed_ms)
+        certificate = (
+            product_form(result) if result.status == "optimal" else ""
+        )
+        return BoundResponse(
+            log2_bound=result.log2_bound,
+            bound=result.bound,
+            cone=result.cone,
+            status=result.status,
+            norms_used=tuple(result.norms_used()),
+            certificate=certificate,
+            cached=cached,
+            elapsed_ms=elapsed_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
+        """Dispatch one *governed* evaluation (exact count) request.
+
+        The request's budget is enforced at every frontier-block
+        boundary; soft pressure degrades (smaller blocks — results are
+        bit-identical), a hard stop surfaces as a typed ``budget-*``
+        :class:`ServiceError` with the governor's snapshot in the
+        detail — the service keeps serving.
+        """
+        start = time.perf_counter()
+        try:
+            query = self._parse(request.query)
+            try:
+                budget = budget_from_spec(
+                    memory=request.memory_budget,
+                    deadline=request.deadline_seconds,
+                )
+            except ValueError as exc:
+                raise ServiceError("bad-request", str(exc)) from exc
+            governor = (
+                EvaluationGovernor(budget, token=CancellationToken())
+                if budget is not None
+                else None
+            )
+            try:
+                run = generic_join(
+                    query,
+                    self._db,
+                    frontier_block=request.frontier_block,
+                    sink=CountSink(),
+                    governor=governor,
+                )
+            except ResourceGovernanceError as exc:
+                snapshot = exc.snapshot
+                raise ServiceError(
+                    _VERDICT_CODES.get(type(exc), "budget-cancelled"),
+                    snapshot.describe(),
+                    detail={
+                        "reason": snapshot.reason,
+                        "nodes_visited": snapshot.nodes_visited,
+                        "elapsed_seconds": snapshot.elapsed_seconds,
+                        "memory_bytes": snapshot.memory_bytes,
+                        "peak_memory_bytes": snapshot.peak_memory_bytes,
+                        "ladder": list(snapshot.ladder),
+                    },
+                ) from exc
+        except ServiceError as exc:
+            raise self._fail("evaluate", exc)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        self._record("evaluate", elapsed_ms)
+        return EvaluateResponse(
+            count=run.count,
+            nodes_visited=run.nodes_visited,
+            elapsed_ms=elapsed_ms,
+            degradations=governor.ladder if governor is not None else (),
+        )
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Request counts, cache hit rates, and latency percentiles."""
+        solver = self._solver
+        with self._lock:
+            latencies = {
+                endpoint: sorted(samples)
+                for endpoint, samples in self._latencies.items()
+            }
+            requests = dict(self.requests)
+            errors = dict(self.errors)
+            stats_hits = self.statistics_hits
+            stats_misses = self.statistics_misses
+        latency_summary = {}
+        for endpoint, samples in latencies.items():
+            if samples:
+                latency_summary[endpoint] = {
+                    "count": len(samples),
+                    "p50_ms": encode_float(_percentile(samples, 0.50)),
+                    "p99_ms": encode_float(_percentile(samples, 0.99)),
+                    "max_ms": encode_float(samples[-1]),
+                }
+            else:
+                latency_summary[endpoint] = {"count": 0}
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "requests": requests,
+            "errors": errors,
+            "lp_mode": solver.resolved_lp_mode(),
+            "solver": {
+                "assembly_hits": solver.assembly_hits,
+                "assembly_misses": solver.assembly_misses,
+                "result_hits": solver.result_hits,
+                "solves": solver.solves,
+                "persistent_resolves": solver.persistent_resolves,
+                "cached_assemblies": solver.cached_assemblies(),
+                "cached_models": solver.cached_models(),
+                "cached_results": solver.cached_results(),
+            },
+            "catalog": self._catalog.cache_stats(),
+            "statistics_cache": {
+                "hits": stats_hits,
+                "misses": stats_misses,
+            },
+            "latency": latency_summary,
+        }
