@@ -7,6 +7,8 @@ Three workloads enter the CI trajectory:
   no LP touched);
 * ``test_bench_service_http_round_trip`` — the same request through the
   stdlib HTTP front-end over one keep-alive connection;
+* ``test_bench_service_http_contended`` — warm throughput (requests/s)
+  at 8 concurrent keep-alive clients, the locking-discipline canary;
 * the ``b_swap`` pair — the persistent warm-started HiGHS model vs the
   cached one-shot scipy path on the plan-search shape that motivates
   it: one LP structure re-solved under many statistics vectors.
@@ -80,6 +82,50 @@ def test_bench_service_http_round_trip(benchmark):
         assert all(r.cached for r in responses)
     finally:
         client.close()
+        server.shutdown()
+        server.server_close()
+
+
+#: Concurrent keep-alive clients in the contended-throughput entry.
+CONTENDED_CLIENTS = 8
+CONTENDED_PER_CLIENT = 50
+
+
+def test_bench_service_http_contended(benchmark):
+    """Warm throughput under contention: 8 concurrent keep-alive clients.
+
+    The measured quantity is the wall time for 8 × 50 warm requests
+    issued from 8 threads, i.e. requests/s at 8 concurrent clients —
+    the locking-discipline regression canary: a lock held across LP or
+    JSON work would collapse this entry while leaving the
+    single-client round trip untouched.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    service = _service()
+    server = start_server(service)
+    clients = [BoundClient(server.url) for _ in range(CONTENDED_CLIENTS)]
+    try:
+        for client in clients:  # connect + warm every connection
+            client.bound(query=TRIANGLE, ps=PS)
+
+        def one_client(client):
+            return [
+                client.bound(query=TRIANGLE, ps=PS)
+                for _ in range(CONTENDED_PER_CLIENT)
+            ]
+
+        def contended_sweep():
+            with ThreadPoolExecutor(max_workers=CONTENDED_CLIENTS) as pool:
+                return list(pool.map(one_client, clients))
+
+        batches = benchmark(contended_sweep)
+        assert len(batches) == CONTENDED_CLIENTS
+        for batch in batches:
+            assert all(r.cached for r in batch)
+    finally:
+        for client in clients:
+            client.close()
         server.shutdown()
         server.server_close()
 

@@ -69,6 +69,10 @@ TOLERANCES = {
     "benchmarks/bench_service.py::test_bench_service_http_round_trip": 2.0,
     "benchmarks/bench_service.py::test_bench_lp_b_swap_oneshot": 2.0,
     "benchmarks/bench_service.py::test_bench_lp_b_swap_persistent": 2.0,
+    # the contended entry adds 8 client threads + a pool spin-up per
+    # round on a 2-core CI runner: scheduler fairness noise dominates
+    # the per-request cost, so it gets the most slack of the service set.
+    "benchmarks/bench_service.py::test_bench_service_http_contended": 2.5,
 }
 
 #: Per-benchmark peak-memory tolerance overrides (ratio of peak_kb).

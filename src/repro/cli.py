@@ -339,7 +339,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not relations:
         print("serve needs at least one --table NAME=PATH", file=sys.stderr)
         return 2
-    service = BoundService(Database(relations), ps=tuple(args.norms))
+    cache_bytes = None
+    if args.cache_budget is not None:
+        from .evaluation import parse_memory_size
+
+        try:
+            cache_bytes = parse_memory_size(args.cache_budget)
+        except ValueError as exc:
+            print(f"--cache-budget: {exc}", file=sys.stderr)
+            return 2
+    if args.max_concurrent_evaluations is not None \
+            and args.max_concurrent_evaluations < 1:
+        print("--max-concurrent-evaluations must be ≥ 1", file=sys.stderr)
+        return 2
+    if args.evaluate_queue is not None and args.evaluate_queue < 0:
+        print("--evaluate-queue must be ≥ 0", file=sys.stderr)
+        return 2
+    if args.evaluate_queue_timeout < 0:
+        print("--evaluate-queue-timeout must be ≥ 0", file=sys.stderr)
+        return 2
+    service = BoundService(
+        Database(relations),
+        ps=tuple(args.norms),
+        cache_bytes=cache_bytes,
+        max_cached_queries=args.max_cached_queries,
+        max_cached_statistics=args.max_cached_statistics,
+        max_cached_results=args.max_cached_results,
+        max_concurrent_evaluations=args.max_concurrent_evaluations,
+        max_evaluate_queue=args.evaluate_queue,
+        evaluate_queue_timeout=args.evaluate_queue_timeout,
+    )
     if args.warm:
         try:
             warmed = service.precompute(args.warm)
@@ -553,6 +582,62 @@ def build_parser() -> argparse.ArgumentParser:
         "per LP structure (install repro[service]), 'oneshot' forces "
         "the scipy path, 'auto' (the default) uses persistent when "
         "highspy is available; bounds agree to 1e-6 across modes",
+    )
+    serve.add_argument(
+        "--cache-budget",
+        default=None,
+        metavar="SIZE",
+        help="total byte budget for the service's caches (parsed "
+        "queries, statistics, solver results/assemblies) with K/M/G "
+        "suffixes, e.g. 64M; least-recently-used entries are evicted "
+        "beyond it (evictions surface in /metrics); default: unbounded",
+    )
+    serve.add_argument(
+        "--max-cached-queries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entry cap for the parsed-query cache (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-cached-statistics",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entry cap for the per-query statistics cache "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-cached-results",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entry cap for the solver's result memo (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-concurrent-evaluations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="/evaluate admission cap: at most N evaluations run at "
+        "once (default: half the cores, at least 1); /bound is never "
+        "capped or queued",
+    )
+    serve.add_argument(
+        "--evaluate-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="waiters admitted beyond the cap before /evaluate refuses "
+        "with a typed 429 (default: 2x the cap)",
+    )
+    serve.add_argument(
+        "--evaluate-queue-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="longest a queued /evaluate waits for a slot before the "
+        "typed 429 refusal (default: 2.0)",
     )
     serve.add_argument(
         "--log-requests",

@@ -27,6 +27,7 @@ from .lp_bound import (
     lp_bound_many,
     set_lp_mode,
 )
+from .lru import LruCache, approx_bytes
 from .norms import (
     log2_norm,
     lp_norm,
@@ -55,6 +56,8 @@ __all__ = [
     "BoundTask",
     "BoundTaskError",
     "LpUnavailableError",
+    "LruCache",
+    "approx_bytes",
     "CONES",
     "LP_MODES",
     "active_lp_mode",

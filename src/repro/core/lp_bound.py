@@ -70,6 +70,7 @@ from ..entropy.shannon import elemental_inequalities
 from ..entropy.vectors import EntropyVector
 from ..query.query import ConjunctiveQuery
 from .conditionals import ConcreteStatistic, StatisticsSet
+from .lru import LruCache
 
 __all__ = [
     "BoundResult",
@@ -726,25 +727,60 @@ class BoundSolver:
     solver additionally keeps one warm :class:`_PersistentModel` per
     assembly and re-solves swap only the statistic bounds — optima agree
     with the oracle to solver tolerance, not bit-identically.
-    Thread-safe (used by :func:`lp_bound_many`).
+
+    **Locking discipline** (the solver is shared by
+    :func:`lp_bound_many`'s thread pool and by every thread of the
+    bound service's HTTP front-end): all cache and counter mutations
+    happen under ``self._lock``; LP solves and assembly construction
+    always run *outside* it, so a slow solve never blocks other
+    threads' cache hits.  The result-memo hit path first probes the
+    memo with a recency-neutral lock-free read
+    (:meth:`~repro.core.lru.LruCache.peek`, a plain dict read — atomic
+    under the GIL) and takes the lock only to bump the hit counter and
+    LRU recency; a warm request therefore holds the lock for a
+    dictionary operation, never for LP work.  Whether the *calling
+    thread's* last solve was a memo hit is recorded thread-locally and
+    exposed as :attr:`last_solve_cached` — reading shared counters
+    before/after a solve is racy under concurrency and must not be
+    used for that purpose.
+
+    All three caches are LRU under optional budgets
+    (``max_cached_results`` / ``result_cache_bytes`` for the result
+    memo, ``max_cached_assemblies`` / ``assembly_cache_bytes`` for the
+    constraint skeletons; persistent models share the assemblies'
+    entry cap — their real memory lives in native HiGHS structures the
+    byte estimator cannot see).  ``None`` (the default) leaves a
+    budget unbounded, the historical behaviour.  An evicted entry is
+    simply recomputed on the next request — results are unaffected.
 
     ``lp_mode`` pins this solver to a mode; ``None`` (default) follows
     the process-wide :func:`active_lp_mode` at each solve.
     """
 
     def __init__(
-        self, memoize_results: bool = True, lp_mode: str | None = None
+        self,
+        memoize_results: bool = True,
+        lp_mode: str | None = None,
+        max_cached_results: int | None = None,
+        result_cache_bytes: int | None = None,
+        max_cached_assemblies: int | None = None,
+        assembly_cache_bytes: int | None = None,
     ) -> None:
         if lp_mode is not None and lp_mode not in LP_MODES:
             raise ValueError(
                 f"lp_mode {lp_mode!r} is not one of {', '.join(LP_MODES)}"
             )
-        self._assemblies: dict[tuple, _Assembly] = {}
-        self._models: dict[tuple, _PersistentModel] = {}
-        self._results: dict[tuple, BoundResult] = {}
+        self._assemblies: LruCache = LruCache(
+            max_cached_assemblies, assembly_cache_bytes
+        )
+        self._models: LruCache = LruCache(max_cached_assemblies)
+        self._results: LruCache = LruCache(
+            max_cached_results, result_cache_bytes
+        )
         self._memoize = memoize_results
         self._lp_mode = lp_mode
         self._lock = threading.Lock()
+        self._tls = threading.local()
         self.assembly_hits = 0
         self.assembly_misses = 0
         self.result_hits = 0
@@ -762,6 +798,26 @@ class BoundSolver:
 
     def cached_results(self) -> int:
         return len(self._results)
+
+    @property
+    def last_solve_cached(self) -> bool:
+        """Whether *this thread's* most recent solve was a memo hit.
+
+        Thread-local, so concurrent callers each see their own flag —
+        the atomic replacement for comparing the shared ``result_hits``
+        counter before and after a solve, which under-/over-counts as
+        soon as two threads interleave.
+        """
+        return getattr(self._tls, "last_cached", False)
+
+    def cache_stats(self) -> dict[str, dict]:
+        """Entry/byte/eviction accounting for each cache layer."""
+        with self._lock:
+            return {
+                "results": self._results.stats(),
+                "assemblies": self._assemblies.stats(),
+                "models": self._models.stats(),
+            }
 
     def resolved_lp_mode(self) -> str:
         """The concrete mode this solver's next fresh solve will use."""
@@ -788,7 +844,7 @@ class BoundSolver:
         else:
             assembly = _assemble_step_cone(len(order), cone, struct)
         with self._lock:
-            return self._assemblies.setdefault(key, assembly)
+            return self._assemblies.add(key, assembly)
 
     def solve(
         self,
@@ -806,6 +862,7 @@ class BoundSolver:
         if not isinstance(statistics, StatisticsSet):
             statistics = StatisticsSet(statistics)
         if extra_inequalities:
+            self._tls.last_cached = False
             return lp_bound(
                 statistics,
                 query=query,
@@ -827,14 +884,20 @@ class BoundSolver:
         statistics: StatisticsSet,
         assembly: _Assembly | None = None,
     ) -> BoundResult:
+        self._tls.last_cached = False
         memo_key = None
         if self._memoize:
             memo_key = (cone, order, struct, b_stats.tobytes())
-            with self._lock:
-                cached = self._results.get(memo_key)
-                if cached is not None:
+            # lock-free fast path: a recency-neutral dict probe — the
+            # warm plan-search pattern never contends on the lock for
+            # more than the counter/recency bump below
+            cached = self._results.peek(memo_key)
+            if cached is not None:
+                with self._lock:
                     self.result_hits += 1
-                    return replace(cached, statistics=statistics)
+                    self._results.touch(memo_key)
+                self._tls.last_cached = True
+                return replace(cached, statistics=statistics)
         if assembly is None:
             assembly = self._assembly_for(cone, order, struct)
         if self.resolved_lp_mode() == "persistent" and assembly.num_stats:
@@ -847,7 +910,7 @@ class BoundSolver:
         with self._lock:
             self.solves += 1
             if memo_key is not None:
-                self._results[memo_key] = result
+                self._results.add(memo_key, result)
         return result
 
     def _model_for(
@@ -863,7 +926,7 @@ class BoundSolver:
         if model is None:
             model = _PersistentModel(assembly)
             with self._lock:
-                model = self._models.setdefault(key, model)
+                model = self._models.add(key, model)
         return model
 
     def solve_family(
@@ -923,7 +986,7 @@ class BoundSolver:
             else:
                 assembly = _assemble_polymatroid(len(order), struct)
             with self._lock:
-                assembly = self._assemblies.setdefault(key, assembly)
+                assembly = self._assemblies.add(key, assembly)
                 self.family_slices += 1
         else:
             with self._lock:

@@ -10,9 +10,16 @@ package serves both from one long-lived process:
 stdlib HTTP, and every dispatched evaluation carries a per-request
 :class:`~repro.evaluation.EvaluationBudget` so one oversized query
 degrades or stops with a typed verdict instead of taking the process
-down.  See ``docs/service.md`` for the API reference and runbook.
+down.  Under real concurrency the service is hardened three ways:
+every cache layer is LRU under a byte/entry budget, an
+:class:`~repro.service.admission.AdmissionController` caps and queues
+``/evaluate`` (refusals are typed ``overloaded`` 429s; in-flight work
+is never killed), and all shared state is lock- or thread-local-
+disciplined.  See ``docs/service.md`` for the API reference and
+runbook.
 """
 
+from .admission import AdmissionController
 from .protocol import (
     ERROR_CODES,
     BoundRequest,
@@ -26,6 +33,7 @@ from .service import BoundService
 
 __all__ = [
     "ERROR_CODES",
+    "AdmissionController",
     "BoundClient",
     "BoundRequest",
     "BoundResponse",

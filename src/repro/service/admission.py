@@ -1,0 +1,172 @@
+"""Admission control for the service's expensive ``/evaluate`` endpoint.
+
+Bounds are the cheap product — a warm one is a dictionary hit — so they
+are never queued.  Evaluations run a governed worst-case-optimal join
+and can hold a core for seconds, so the service bounds *both* the
+concurrency and the queue in front of it:
+
+* at most ``max_concurrent`` evaluations run at once;
+* beyond the cap, up to ``max_queue`` requests **wait** (FIFO by lock
+  fairness) for at most ``queue_timeout_seconds``;
+* beyond the queue — or once a waiter's timeout lapses — the request is
+  **refused** with the typed ``overloaded`` error (HTTP 429) carrying
+  the live queue depth and a retry-after hint.
+
+In-flight work is never killed: an admitted evaluation always runs to
+its own verdict (success or a per-request budget stop); overload only
+ever refuses work *before* it starts.  All waiting happens on a
+:class:`threading.Condition` with monotonic-clock deadlines, so an NTP
+step can neither starve nor instantly expire a waiter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .protocol import ServiceError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A bounded concurrency gate with a bounded, timed wait queue.
+
+    Use as a context manager around the guarded work::
+
+        with controller.admit():       # may raise ServiceError("overloaded")
+            ...                        # at most max_concurrent of these
+
+    ``retry_after_seconds`` (carried in the refusal's ``detail`` and the
+    HTTP ``Retry-After`` header) is a hint: the configured queue timeout
+    plus the caller-supplied latency estimate, i.e. roughly when a slot
+    is likely to have turned over.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queue: int = 0,
+        queue_timeout_seconds: float = 2.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be ≥ 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be ≥ 0")
+        if queue_timeout_seconds < 0:
+            raise ValueError("queue_timeout_seconds must be ≥ 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self.admitted = 0
+        self.completed = 0
+        self.rejected_queue_full = 0
+        self.rejected_timeout = 0
+        self.peak_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        return self._waiting
+
+    def stats(self) -> dict[str, int | float]:
+        """The accounting block ``/metrics`` renders."""
+        with self._cond:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "queue_timeout_seconds": self.queue_timeout_seconds,
+                "active": self._active,
+                "queued": self._waiting,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_timeout": self.rejected_timeout,
+                "peak_queue_depth": self.peak_queue_depth,
+            }
+
+    # ------------------------------------------------------------------
+    def _overloaded(
+        self, kind: str, retry_after: float
+    ) -> ServiceError:
+        # called with self._cond held
+        depth = self._waiting
+        return ServiceError(
+            "overloaded",
+            f"evaluation capacity exhausted ({self._active} in flight, "
+            f"{depth} queued, queue limit {self.max_queue}): {kind}; "
+            f"retry after ~{retry_after:.1f}s",
+            detail={
+                "queue_depth": depth,
+                "max_queue": self.max_queue,
+                "active": self._active,
+                "max_concurrent": self.max_concurrent,
+                "retry_after_seconds": retry_after,
+            },
+        )
+
+    def acquire(self, retry_after_hint: float = 0.0) -> None:
+        """Admit the calling thread or raise the typed 429.
+
+        ``retry_after_hint`` (seconds, e.g. the observed median
+        evaluation latency) is folded into the refusal's retry-after.
+        """
+        retry_after = round(self.queue_timeout_seconds + retry_after_hint, 3)
+        deadline = time.monotonic() + self.queue_timeout_seconds
+        with self._cond:
+            if self._active < self.max_concurrent:
+                self._active += 1
+                self.admitted += 1
+                return
+            if self._waiting >= self.max_queue:
+                self.rejected_queue_full += 1
+                raise self._overloaded("queue full", retry_after)
+            self._waiting += 1
+            self.peak_queue_depth = max(self.peak_queue_depth, self._waiting)
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.rejected_timeout += 1
+                        raise self._overloaded(
+                            "queue wait timed out", retry_after
+                        )
+                    self._cond.wait(remaining)
+                self._active += 1
+                self.admitted += 1
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self.completed += 1
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    def admit(self, retry_after_hint: float = 0.0) -> "_Admission":
+        return _Admission(self, retry_after_hint)
+
+
+class _Admission:
+    """The context manager returned by :meth:`AdmissionController.admit`."""
+
+    def __init__(
+        self, controller: AdmissionController, retry_after_hint: float
+    ) -> None:
+        self._controller = controller
+        self._hint = retry_after_hint
+
+    def __enter__(self) -> "_Admission":
+        self._controller.acquire(self._hint)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._controller.release()

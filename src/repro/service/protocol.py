@@ -39,6 +39,7 @@ ERROR_CODES = {
     "budget-memory": 422,     # evaluation hit its hard memory cap
     "budget-deadline": 422,   # evaluation ran past its deadline
     "budget-cancelled": 422,  # evaluation's cancellation token flipped
+    "overloaded": 429,        # /evaluate refused: cap reached, queue full
     "internal": 500,          # anything else (a bug — report it)
 }
 

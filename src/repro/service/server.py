@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -60,16 +61,29 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, error: ServiceError) -> None:
-        self._send_json(error.http_status, error.to_payload())
+        headers = None
+        if error.code == "overloaded":
+            # the standard header mirrors detail.retry_after_seconds so
+            # off-the-shelf clients back off without parsing the body
+            retry_after = error.detail.get("retry_after_seconds", 1)
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+        self._send_json(error.http_status, error.to_payload(), headers)
 
     def _read_payload(self) -> dict[str, Any]:
         length = self.headers.get("Content-Length")

@@ -298,7 +298,23 @@ class TestBoundService:
         latency = metrics["latency"]["bound"]
         assert latency["count"] >= 1
         assert latency["p50_ms"] <= latency["p99_ms"] <= latency["max_ms"]
+        for layer in (
+            "queries", "statistics", "solver_results", "solver_assemblies",
+            "solver_models",
+        ):
+            cache = metrics["caches"][layer]
+            assert cache["entries"] >= 0
+            assert cache["evictions"] >= 0
+        admission = metrics["admission"]
+        assert admission["max_concurrent"] >= 1
+        assert admission["active"] == 0
+        assert admission["queued"] == 0
         assert json.dumps(metrics)  # the whole document is JSON-safe
+
+    def test_uptime_is_monotonic_and_nonnegative(self, service):
+        first = service.metrics()["uptime_seconds"]
+        second = service.metrics()["uptime_seconds"]
+        assert 0 <= first <= second
 
 
 class TestHttpFrontend:
